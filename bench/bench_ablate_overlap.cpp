@@ -1,0 +1,50 @@
+// Ablation: how much of the gain is the *overlap* (Figure 6) versus just
+// the DMA engine's raw copy speed?  Compares plain memcpy, synchronous
+// per-fragment I/OAT (submit, busy-poll, next fragment), and the paper's
+// overlapped design (wait only behind the last fragment).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+int main() {
+  core::OmxConfig memcpy_cfg = cfg_omx();
+  core::OmxConfig sync_cfg = cfg_omx_ioat();
+  sync_cfg.ioat_large_sync = true;
+  core::OmxConfig overlap_cfg = cfg_omx_ioat();
+
+  const auto sizes = size_sweep(64 * sim::KiB, 8 * sim::MiB);
+  std::vector<double> c_mem, c_sync, c_ovl;
+  for (std::size_t s : sizes) {
+    const int iters = s >= sim::MiB ? 5 : 15;
+    c_mem.push_back(pingpong_mibs(memcpy_cfg, s, iters));
+    c_sync.push_back(pingpong_mibs(sync_cfg, s, iters));
+    c_ovl.push_back(pingpong_mibs(overlap_cfg, s, iters));
+  }
+  print_table("Ablation: copy strategy in the large-receive bottom half",
+              {"memcpy", "I/OAT sync (no overlap)", "I/OAT overlapped"},
+              sizes, {c_mem, c_sync, c_ovl}, "MiB/s");
+
+  // On a 10 GbE wire the engine keeps pace either way, so the throughput
+  // difference is small — the overlap's value is the CPU it frees: the
+  // bottom half no longer busy-polls every fragment's completion.
+  std::printf("\n%-28s %14s %14s\n", "streaming 16MB receives",
+              "BH CPU", "MiB/s");
+  for (auto* cfg : {&memcpy_cfg, &sync_cfg, &overlap_cfg}) {
+    const CpuUsage u = stream_cpu_usage(*cfg, 16 * sim::MiB, 8);
+    const char* name = cfg == &memcpy_cfg ? "memcpy"
+                       : cfg == &sync_cfg ? "I/OAT sync (no overlap)"
+                                          : "I/OAT overlapped";
+    std::printf("%-28s %13.0f%% %14.0f\n", name, 100 * u.bh,
+                u.throughput_mibs);
+  }
+
+  const std::size_t last = sizes.size() - 1;
+  std::printf("\nat %s: engine gives %+.0f%% throughput over memcpy; "
+              "overlap then removes the busy-poll CPU (Figure 6)\n",
+              size_label(sizes[last]).c_str(),
+              100.0 * (c_sync[last] / c_mem[last] - 1.0));
+  return 0;
+}

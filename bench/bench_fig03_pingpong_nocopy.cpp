@@ -1,0 +1,35 @@
+// Figure 3: "Expected Open-MX performance improvement when removing the
+// copy in the receive callback."  Ping-pong throughput between two nodes
+// for native MX, plain Open-MX, and Open-MX with the bottom-half receive
+// copy ignored (the prediction that motivates the I/OAT work).
+//
+// Paper reference points: MX peaks near 1140 MiB/s; Open-MX saturates
+// near 800 MiB/s; with the BH copy ignored, line rate (1186 MiB/s)
+// appears achievable.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+int main() {
+  const auto sizes = size_sweep(16, 4 * sim::MiB);
+  std::vector<double> mx, omx, nocopy;
+  for (std::size_t s : sizes) {
+    const int iters = s >= sim::MiB ? 5 : 20;
+    mx.push_back(pingpong_mibs(cfg_mx(), s, iters));
+    omx.push_back(pingpong_mibs(cfg_omx(), s, iters));
+    nocopy.push_back(pingpong_mibs(cfg_omx_nocopy(), s, iters));
+  }
+  print_table("Figure 3: ping-pong throughput (prediction)",
+              {"MX", "Open-MX ignoring BH copy", "Open-MX"}, sizes,
+              {mx, nocopy, omx}, "MiB/s");
+
+  const double line_rate = 1186.0;
+  std::printf("\npaper checkpoints: MX peak ~1140, Open-MX ~800, "
+              "no-copy ~line rate (%.0f MiB/s)\n", line_rate);
+  std::printf("measured peaks:    MX %.0f, Open-MX %.0f, no-copy %.0f\n",
+              mx.back(), omx.back(), nocopy.back());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7: "Comparison of pipelined memcpy and I/OAT copy performance
+// using 256 bytes, 1 kB and 4 kB chunks."
+//
+// Paper reference points: memcpy barely degrades with chunk size and
+// saturates near 1.5-1.6 GiB/s out of cache; I/OAT sustains ~2.4 GiB/s
+// with 4 kB (page) chunks but collapses with 256 B chunks because each
+// chunk costs a descriptor submission; the two cross near 1 kB chunks.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "dma/ioat.hpp"
+#include "mem/memcpy_model.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+namespace {
+
+/// Pipelined CPU memcpy of `total` bytes in `chunk` pieces, uncached
+/// stream (the benchmark copies a fresh data set every iteration).
+double memcpy_mibs(std::size_t total, std::size_t chunk) {
+  const mem::MemcpyModel model;
+  const sim::Time t = model.duration(total, chunk, 0.0, false);
+  return sim::mib_per_second(total, t);
+}
+
+/// Pipelined I/OAT copy: the CPU submits chunk descriptors back to back
+/// while the engine drains them; total time is the later of the two
+/// pipelines, measured in a real simulation of the engine.
+double ioat_mibs(std::size_t total, std::size_t chunk) {
+  sim::Engine engine;
+  dma::IoatEngine io(engine);
+  std::vector<std::uint8_t> src(total), dst(total);
+  sim::Time cpu_time = 0;
+  std::uint64_t last = 0;
+  for (std::size_t off = 0; off < total; off += chunk) {
+    const std::size_t n = std::min(chunk, total - off);
+    // CPU-side submission cost paces the submissions.
+    cpu_time += io.submit_cost(1);
+    last = io.submit(0, src.data() + off, dst.data() + off, n);
+  }
+  engine.run();
+  const sim::Time done = std::max(cpu_time, io.cookie_done_time(0, last));
+  return sim::mib_per_second(total, done);
+}
+
+}  // namespace
+
+int main() {
+  const auto sizes = size_sweep(256, sim::MiB);
+  const std::size_t chunks[] = {4096, 1024, 256};
+
+  std::printf("=== Figure 7: pipelined memcpy vs I/OAT copy throughput ===\n");
+  std::printf("%-10s", "size");
+  for (std::size_t c : chunks) std::printf("   memcpy-%-5s", size_label(c).c_str());
+  for (std::size_t c : chunks) std::printf("   ioat-%-7s", size_label(c).c_str());
+  std::printf("  [MiB/s]\n");
+  for (std::size_t s : sizes) {
+    std::printf("%-10s", size_label(s).c_str());
+    for (std::size_t c : chunks) std::printf("   %12.0f", memcpy_mibs(s, c));
+    for (std::size_t c : chunks) std::printf("   %12.0f", ioat_mibs(s, c));
+    std::printf("\n");
+  }
+
+  std::printf("\npaper: I/OAT ~2.4 GiB/s with 4kB chunks vs memcpy ~1.5 "
+              "GiB/s; I/OAT loses below ~1kB chunks\n");
+  std::printf("measured at 1MB: ioat-4kB %.0f MiB/s, memcpy-4kB %.0f MiB/s, "
+              "ioat-256B %.0f MiB/s\n",
+              ioat_mibs(sim::MiB, 4096), memcpy_mibs(sim::MiB, 4096),
+              ioat_mibs(sim::MiB, 256));
+  return 0;
+}

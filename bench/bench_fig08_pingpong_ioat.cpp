@@ -1,0 +1,43 @@
+// Figure 8: "Comparison of a ping-pong performance improvement using
+// I/OAT and the expected performance with bottom half copy ignored."
+//
+// Paper reference points: with I/OAT async copy offload, throughput is up
+// to 50 % higher for messages >32 kB, reaches 1114 MiB/s for multi-MB
+// messages (line rate is 1186), remains below the copy-ignored prediction
+// around 256 kB, and is >20 % better than plain Open-MX even there.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+int main() {
+  const auto sizes = size_sweep(16, 4 * sim::MiB);
+  std::vector<double> mx, omx, ioat, nocopy;
+  for (std::size_t s : sizes) {
+    const int iters = s >= sim::MiB ? 5 : 20;
+    mx.push_back(pingpong_mibs(cfg_mx(), s, iters));
+    omx.push_back(pingpong_mibs(cfg_omx(), s, iters));
+    ioat.push_back(pingpong_mibs(cfg_omx_ioat(), s, iters));
+    nocopy.push_back(pingpong_mibs(cfg_omx_nocopy(), s, iters));
+  }
+  print_table("Figure 8: ping-pong throughput with I/OAT copy offload",
+              {"MX", "OMX-nocopy(exp.)", "OMX+I/OAT", "Open-MX"}, sizes,
+              {mx, nocopy, ioat, omx}, "MiB/s");
+
+  auto at = [&](std::size_t want) -> std::size_t {
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+      if (sizes[i] == want) return i;
+    return sizes.size() - 1;
+  };
+  const std::size_t i256k = at(256 * sim::KiB);
+  const std::size_t i4m = at(4 * sim::MiB);
+  std::printf("\npaper: I/OAT ~1114 MiB/s multi-MB; >20%% over Open-MX at "
+              "256kB; below no-copy prediction there\n");
+  std::printf("measured: I/OAT %.0f MiB/s at 4MB; +%.0f%% over Open-MX at "
+              "256kB; no-copy-minus-I/OAT at 256kB = %.0f MiB/s\n",
+              ioat[i4m], 100.0 * (ioat[i256k] / omx[i256k] - 1.0),
+              nocopy[i256k] - ioat[i256k]);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9: CPU usage of the Open-MX library, driver command processing
+// and bottom-half receive processing while receiving a stream of
+// synchronous large messages, with and without overlapped I/OAT copies.
+//
+// Paper reference points: the memcpy-based path saturates one core up to
+// 95 % for multi-megabyte messages; with overlapped DMA copies the total
+// drops to ~60 % (and from ~50 % to ~42 % at the small end of the sweep).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+namespace {
+
+void run_one(const char* label, const core::OmxConfig& cfg) {
+  std::printf("\n--- BH receive with %s ---\n", label);
+  std::printf("%-10s %12s %12s %12s %12s %14s\n", "size", "user-lib%",
+              "driver%", "bottom-half%", "total%", "MiB/s");
+  for (std::size_t s : size_sweep(64 * sim::KiB, 16 * sim::MiB)) {
+    const int msgs = s >= 4 * sim::MiB ? 8 : 24;
+    const CpuUsage u = stream_cpu_usage(cfg, s, msgs);
+    std::printf("%-10s %12.1f %12.1f %12.1f %12.1f %14.1f\n",
+                size_label(s).c_str(), 100 * u.user, 100 * u.driver,
+                100 * u.bh, 100 * u.total(), u.throughput_mibs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The paper's Figure 9 pins each message's region inside the pull
+  // syscall ("the driver time is higher because it involves memory
+  // pinning during a system call prior to the data transfer"), so run
+  // without the deferred-deregistration cache to surface that component.
+  core::OmxConfig memcpy_cfg = cfg_omx();
+  memcpy_cfg.regcache = false;
+  core::OmxConfig ioat_cfg = cfg_omx_ioat();
+  ioat_cfg.regcache = false;
+
+  run_one("memcpy", memcpy_cfg);
+  run_one("overlapped DMA copy (I/OAT)", ioat_cfg);
+
+  const CpuUsage mem16 = stream_cpu_usage(memcpy_cfg, 16 * sim::MiB, 8);
+  const CpuUsage io16 = stream_cpu_usage(ioat_cfg, 16 * sim::MiB, 8);
+  std::printf("\npaper: multi-MB receive CPU usage 95%% -> 60%% with I/OAT\n");
+  std::printf("measured at 16MB: %.0f%% -> %.0f%%\n", 100 * mem16.total(),
+              100 * io16.total());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 10: "Performance of Open-MX one-copy-based shared-memory
+// communication with I/OAT offload of synchronous copies."
+//
+// Paper reference points: memcpy between processes sharing a dual-core
+// subchip's L2 reaches ~6 GiB/s while the working set fits in the cache
+// and collapses to ~1.2 GiB/s beyond it (or across sockets); the
+// I/OAT-offloaded synchronous copy sustains ~2.3 GiB/s for large
+// messages — ~80 % better than the uncached memcpy.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+int main() {
+  const auto sizes = size_sweep(16, 16 * sim::MiB);
+  std::vector<double> same_subchip, cross_socket, ioat;
+  for (std::size_t s : sizes) {
+    const int iters = s >= sim::MiB ? 5 : 20;
+    // Cores 0/1 share an L2 subchip; cores 0/4 sit on different sockets.
+    same_subchip.push_back(sim::mib_per_second(
+        s, local_pingpong_oneway(cfg_omx(), s, iters, 0, 1)));
+    cross_socket.push_back(sim::mib_per_second(
+        s, local_pingpong_oneway(cfg_omx(), s, iters, 0, 4)));
+    core::OmxConfig io = cfg_omx();
+    io.ioat_shm = true;
+    // The paper enables shm offload beyond 1 MB; to expose the raw I/OAT
+    // curve across the sweep (as Figure 10 does) lower the threshold to
+    // the large-message threshold.
+    io.ioat_shm_min_msg = 32 * sim::KiB + 1;
+    ioat.push_back(sim::mib_per_second(
+        s, local_pingpong_oneway(io, s, iters, 0, 4)));
+  }
+  print_table("Figure 10: intra-node one-copy ping-pong",
+              {"memcpy same subchip", "memcpy cross socket",
+               "I/OAT sync copy"},
+              sizes, {same_subchip, cross_socket, ioat}, "MiB/s");
+
+  const double ioat_gibs = ioat.back() / 1024.0;
+  const double cross_gibs = cross_socket.back() / 1024.0;
+  std::printf("\npaper: I/OAT ~2.3 GiB/s vs ~1.2 GiB/s uncached memcpy "
+              "(+80%%); cached memcpy ~6 GiB/s under 1MB\n");
+  std::printf("measured at 16MB: I/OAT %.2f GiB/s, cross-socket memcpy "
+              "%.2f GiB/s (+%.0f%%)\n",
+              ioat_gibs, cross_gibs, 100.0 * (ioat_gibs / cross_gibs - 1.0));
+  return 0;
+}

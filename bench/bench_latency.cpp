@@ -1,0 +1,48 @@
+// Small-message latency breakdown (Section VI outlook: "we are also
+// looking on improving small message latency").  Half-round-trip times
+// for tiny messages across the stacks, plus the per-component budget the
+// model charges — the starting point for the paper's proposed
+// cache-effect work between interrupt handlers and user-space.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace openmx;
+using namespace openmx::bench;
+
+int main() {
+  std::printf("=== small-message half-round-trip latency ===\n");
+  std::printf("%-8s %14s %14s %16s\n", "size", "MX (us)", "Open-MX (us)",
+              "OMX+I/OAT (us)");
+  for (std::size_t s : {std::size_t{0}, std::size_t{16}, std::size_t{128},
+                        std::size_t{1024}, std::size_t{4096}}) {
+    std::printf("%-8s %14.2f %14.2f %16.2f\n", size_label(s).c_str(),
+                sim::to_micros(pingpong_oneway(cfg_mx(), s, 50)),
+                sim::to_micros(pingpong_oneway(cfg_omx(), s, 50)),
+                sim::to_micros(pingpong_oneway(cfg_omx_ioat(), s, 50)));
+  }
+
+  core::NodeParams np;
+  const auto& c = np.costs;
+  std::printf("\nOpen-MX per-message budget (one direction, 16 B):\n");
+  std::printf("  library call        %5ld ns\n",
+              static_cast<long>(c.lib_call_ns));
+  std::printf("  syscall + command   %5ld ns\n",
+              static_cast<long>(c.syscall_ns + c.cmd_post_ns));
+  std::printf("  skbuff + doorbell   %5ld ns\n",
+              static_cast<long>(c.skb_alloc_ns + c.tx_doorbell_ns));
+  std::printf("  wire (hdr+frame)    %5ld ns\n",
+              static_cast<long>(
+                  net::NetParams{}.latency_ns +
+                  sim::duration_for_bytes(16 + 32 + 38, 1244.125e6)));
+  std::printf("  interrupt + BH      %5ld ns\n",
+              static_cast<long>(net::NetParams{}.intr_ns + c.bh_frag_ns +
+                                c.bh_ack_ns));
+  std::printf("  event fetch + wake  %5ld ns\n",
+              static_cast<long>(c.lib_event_ns + c.lib_wakeup_ns));
+  std::printf("\nI/OAT never engages below the 64 kB threshold: tiny\n"
+              "latencies are identical with and without offload, as the\n"
+              "paper notes ('the performance for smaller messages could\n"
+              "not be improved', Section VI).\n");
+  return 0;
+}

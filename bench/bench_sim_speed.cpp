@@ -1,0 +1,84 @@
+// Wall-clock micro-benchmarks (google-benchmark) of the simulator
+// substrate itself: event-engine dispatch, DMA-engine descriptor
+// processing, cache-model touches, and a full simulated ping-pong per
+// wall second — the numbers that bound how large an experiment the
+// harness can run.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/cluster.hpp"
+#include "core/endpoint.hpp"
+#include "dma/ioat.hpp"
+#include "mem/cache_model.hpp"
+#include "sim/engine.hpp"
+
+using namespace openmx;
+
+static void BM_EngineDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 1000; ++i) e.schedule(i, [] {});
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineDispatch);
+
+static void BM_EngineNestedTimers(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    int remaining = 1000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) e.schedule(10, tick);
+    };
+    e.schedule(10, tick);
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineNestedTimers);
+
+static void BM_IoatDescriptors(benchmark::State& state) {
+  std::vector<std::uint8_t> src(4096), dst(4096);
+  for (auto _ : state) {
+    sim::Engine e;
+    dma::IoatEngine io(e);
+    for (int i = 0; i < 256; ++i)
+      io.submit(i % 4, src.data(), dst.data(), src.size());
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_IoatDescriptors);
+
+static void BM_CacheTouch(benchmark::State& state) {
+  mem::CacheModel cache;
+  std::vector<std::uint8_t> buf(1 * sim::MiB);
+  for (auto _ : state) {
+    cache.touch(buf.data(), buf.size());
+    benchmark::DoNotOptimize(cache.hit_fraction(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_CacheTouch);
+
+static void BM_SimulatedPingPong4k(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::pingpong_oneway(bench::cfg_omx(), 4096, 5, 1));
+  }
+}
+BENCHMARK(BM_SimulatedPingPong4k);
+
+static void BM_SimulatedLargeTransfer1M(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::pingpong_oneway(bench::cfg_omx_ioat(), sim::MiB, 2, 1));
+  }
+}
+BENCHMARK(BM_SimulatedLargeTransfer1M);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+#pragma once
+
+// Shared harness code for the figure-reproduction benchmarks: ping-pong
+// and streaming workloads at the MX API level, table formatting, and the
+// standard configurations (native MX, Open-MX, Open-MX + I/OAT, ...).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/endpoint.hpp"
+
+namespace openmx::bench {
+
+using core::Addr;
+using core::Cluster;
+using core::Endpoint;
+using core::OmxConfig;
+using core::Process;
+using core::Request;
+using sim::Time;
+
+/// Canonical message-size sweep of the paper's throughput figures
+/// (16 B ... `max`, doubling).
+inline std::vector<std::size_t> size_sweep(std::size_t min_size,
+                                           std::size_t max_size) {
+  std::vector<std::size_t> v;
+  for (std::size_t s = min_size; s <= max_size; s *= 2) v.push_back(s);
+  return v;
+}
+
+/// Pre-canned configurations matching the paper's curve labels.
+inline OmxConfig cfg_mx() {
+  OmxConfig c;
+  c.native_mx = true;
+  return c;
+}
+inline OmxConfig cfg_omx() { return OmxConfig{}; }
+inline OmxConfig cfg_omx_ioat() {
+  OmxConfig c;
+  c.ioat_large = true;
+  c.ioat_shm = true;
+  return c;
+}
+inline OmxConfig cfg_omx_nocopy() {
+  OmxConfig c;
+  c.ignore_bh_copy = true;
+  return c;
+}
+
+/// One ping-pong timing at the MX API level between two nodes
+/// (node 0 core 0 <-> node 1 core 0), as in Figures 3 and 8.
+/// Returns the one-way time per message (RTT/2) after warm-up.
+inline Time pingpong_oneway(const OmxConfig& cfg, std::size_t len, int iters,
+                            int warmup = 2,
+                            core::NodeParams np = {},
+                            net::NetParams netp = {}) {
+  Cluster cluster(np, netp);
+  cluster.add_nodes(2, cfg);
+  std::vector<std::uint8_t> buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
+  Time t0 = 0, t1 = 0;
+
+  cluster.spawn(cluster.node(0), 0, "ping", [&](Process& p) {
+    Endpoint ep(p, 0);
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) t0 = p.now();
+      ep.wait(ep.isend(buf0.data(), len, Addr{1, 1}, 7));
+      ep.wait(ep.irecv(buf0.data(), len, 7));
+    }
+    t1 = p.now();
+  });
+  cluster.spawn(cluster.node(1), 0, "pong", [&](Process& p) {
+    Endpoint ep(p, 1);
+    for (int i = 0; i < warmup + iters; ++i) {
+      ep.wait(ep.irecv(buf1.data(), len, 7));
+      ep.wait(ep.isend(buf1.data(), len, Addr{0, 0}, 7));
+    }
+  });
+  cluster.run();
+  return (t1 - t0) / (2 * iters);
+}
+
+inline double pingpong_mibs(const OmxConfig& cfg, std::size_t len, int iters,
+                            core::NodeParams np = {},
+                            net::NetParams netp = {}) {
+  return sim::mib_per_second(len, pingpong_oneway(cfg, len, iters, 2, np, netp));
+}
+
+/// Intra-node ping-pong between two processes of one node (Figure 10).
+/// `core_a`/`core_b` select the placement: {0,1} shares an L2 subchip,
+/// {0,4} crosses sockets.
+inline Time local_pingpong_oneway(const OmxConfig& cfg, std::size_t len,
+                                  int iters, int core_a, int core_b,
+                                  int warmup = 2) {
+  Cluster cluster;
+  cluster.add_node(cfg);
+  std::vector<std::uint8_t> buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
+  Time t0 = 0, t1 = 0;
+
+  cluster.spawn(cluster.node(0), core_a, "ping", [&](Process& p) {
+    Endpoint ep(p, 0);
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) t0 = p.now();
+      ep.wait(ep.isend(buf0.data(), len, Addr{0, 1}, 7));
+      ep.wait(ep.irecv(buf0.data(), len, 7));
+    }
+    t1 = p.now();
+  });
+  cluster.spawn(cluster.node(0), core_b, "pong", [&](Process& p) {
+    Endpoint ep(p, 1);
+    for (int i = 0; i < warmup + iters; ++i) {
+      ep.wait(ep.irecv(buf1.data(), len, 7));
+      ep.wait(ep.isend(buf1.data(), len, Addr{0, 0}, 7));
+    }
+  });
+  cluster.run();
+  return (t1 - t0) / (2 * iters);
+}
+
+/// CPU-usage measurement of Figure 9: a unidirectional stream of
+/// synchronous large messages into node 1; returns the receiver's busy
+/// fraction of one core, split by category, over the active window.
+struct CpuUsage {
+  double user = 0, driver = 0, bh = 0;
+  [[nodiscard]] double total() const { return user + driver + bh; }
+  double throughput_mibs = 0;
+};
+
+inline CpuUsage stream_cpu_usage(const OmxConfig& cfg, std::size_t len,
+                                 int msgs) {
+  Cluster cluster;
+  cluster.add_nodes(2, cfg);
+  std::vector<std::uint8_t> sbuf(len, 1), rbuf(len, 0);
+  Time t0 = 0, t1 = 0;
+  cpu::Machine& m = cluster.node(1).machine();
+  Time u0 = 0, d0 = 0, b0 = 0;
+
+  cluster.spawn(cluster.node(0), 0, "src", [&](Process& p) {
+    Endpoint ep(p, 0);
+    // Warm-up message, then the measured synchronous stream.
+    ep.wait(ep.isend(sbuf.data(), len, Addr{1, 1}, 7));
+    for (int i = 0; i < msgs; ++i)
+      ep.wait(ep.isend(sbuf.data(), len, Addr{1, 1}, 7));
+  });
+  cluster.spawn(cluster.node(1), 0, "sink", [&](Process& p) {
+    Endpoint ep(p, 1);
+    ep.wait(ep.irecv(rbuf.data(), len, 7));
+    t0 = p.now();
+    u0 = m.busy_all_cores(cpu::Cat::UserLib);
+    d0 = m.busy_all_cores(cpu::Cat::DriverSyscall);
+    b0 = m.busy_all_cores(cpu::Cat::BottomHalf);
+    for (int i = 0; i < msgs; ++i)
+      ep.wait(ep.irecv(rbuf.data(), len, 7));
+    t1 = p.now();
+  });
+  cluster.run();
+
+  CpuUsage out;
+  const double window = static_cast<double>(t1 - t0);
+  out.user =
+      static_cast<double>(m.busy_all_cores(cpu::Cat::UserLib) - u0) / window;
+  out.driver =
+      static_cast<double>(m.busy_all_cores(cpu::Cat::DriverSyscall) - d0) /
+      window;
+  out.bh =
+      static_cast<double>(m.busy_all_cores(cpu::Cat::BottomHalf) - b0) /
+      window;
+  out.throughput_mibs = sim::mib_per_second(len * static_cast<size_t>(msgs),
+                                            t1 - t0);
+  return out;
+}
+
+/// Human-readable size label (16B, 4kB, 1MB ... as the paper's axes).
+inline std::string size_label(std::size_t s) {
+  char buf[32];
+  if (s >= sim::MiB)
+    std::snprintf(buf, sizeof buf, "%zuMB", s / sim::MiB);
+  else if (s >= sim::KiB)
+    std::snprintf(buf, sizeof buf, "%zukB", s / sim::KiB);
+  else
+    std::snprintf(buf, sizeof buf, "%zuB", s);
+  return buf;
+}
+
+/// Prints a figure table: first column sizes, then one column per series.
+inline void print_table(const std::string& title,
+                        const std::vector<std::string>& series,
+                        const std::vector<std::size_t>& sizes,
+                        const std::vector<std::vector<double>>& columns,
+                        const std::string& unit) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-10s", "size");
+  for (const auto& s : series) std::printf("%22s", s.c_str());
+  std::printf("   [%s]\n", unit.c_str());
+  for (std::size_t row = 0; row < sizes.size(); ++row) {
+    std::printf("%-10s", size_label(sizes[row]).c_str());
+    for (const auto& col : columns) std::printf("%22.1f", col[row]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace openmx::bench

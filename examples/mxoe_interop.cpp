@@ -1,0 +1,79 @@
+// MXoE wire interoperability: the paper's motivating deployment at
+// Argonne (Section II-A) — BlueGene/P compute nodes running Open-MX on
+// commodity (Broadcom) 10 GbE NICs exchanging PVFS2 traffic with I/O
+// nodes running the native MXoE stack on Myri-10G boards.  Both speak
+// the same wire protocol, so they interoperate frame-for-frame.
+//
+// One native-MX "I/O node" serves file blocks to two Open-MX "compute
+// nodes" (with and without I/OAT receive offload on the compute side).
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/endpoint.hpp"
+
+using namespace openmx;
+
+namespace {
+
+double run(bool compute_ioat) {
+  core::OmxConfig io_node = {};
+  io_node.native_mx = true;  // Myri-10G running the native MXoE firmware
+
+  core::OmxConfig compute = {};
+  compute.ioat_large = compute_ioat;  // Open-MX on commodity Ethernet
+
+  core::Cluster cluster;
+  cluster.add_node(io_node);   // node 0
+  cluster.add_node(compute);   // node 1
+  cluster.add_node(compute);   // node 2
+
+  constexpr std::size_t kBlock = 1 * sim::MiB;
+  constexpr int kBlocks = 8;
+  std::vector<std::uint8_t> file(kBlock, 0xAB);
+  sim::Time t0 = 0, t1 = 0;
+
+  cluster.spawn(cluster.node(0), 0, "io-node", [&](core::Process& p) {
+    core::Endpoint ep(p, 0);
+    t0 = p.now();
+    std::vector<core::Request*> reqs;
+    for (int b = 0; b < kBlocks; ++b)
+      for (int c = 1; c <= 2; ++c)
+        reqs.push_back(ep.isend(file.data(), kBlock,
+                                core::Addr{c, static_cast<std::uint16_t>(c)},
+                                static_cast<std::uint64_t>(b)));
+    for (auto* r : reqs) ep.wait(r);
+    t1 = p.now();
+  });
+  for (int c = 1; c <= 2; ++c) {
+    cluster.spawn(cluster.node(static_cast<std::size_t>(c)), 0,
+                  "compute" + std::to_string(c), [&, c](core::Process& p) {
+                    core::Endpoint ep(p, static_cast<std::uint16_t>(c));
+                    std::vector<std::uint8_t> buf(kBlock);
+                    for (int b = 0; b < kBlocks; ++b) {
+                      ep.wait(ep.irecv(buf.data(), kBlock,
+                                       static_cast<std::uint64_t>(b)));
+                      if (buf[kBlock / 2] != 0xAB)
+                        std::printf("DATA ERROR on compute%d\n", c);
+                    }
+                  });
+  }
+  cluster.run();
+  return sim::mib_per_second(kBlock * kBlocks * 2, t1 - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== MXoE interop: native-MX I/O node -> 2 Open-MX compute "
+              "nodes ===\n");
+  const double plain = run(false);
+  const double ioat = run(true);
+  std::printf("compute nodes receive with memcpy:      %7.0f MiB/s "
+              "aggregate\n", plain);
+  std::printf("compute nodes receive with I/OAT:       %7.0f MiB/s "
+              "aggregate (+%.0f%%)\n", ioat, 100.0 * (ioat / plain - 1.0));
+  std::printf("\nwire compatibility: the Open-MX nodes never knew the "
+              "server ran the native firmware\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the smallest complete Open-MX program on the simulated
+// testbed — two nodes, one endpoint each, one eager and one rendezvous
+// message, with and without I/OAT copy offload.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/endpoint.hpp"
+
+using namespace openmx;
+
+int main() {
+  // 1. Configure the stack: this is the paper's contribution switch.
+  core::OmxConfig config;
+  config.ioat_large = true;  // offload large receive copies to the DMA engine
+
+  // 2. Build a two-node cluster (dual quad-core Xeons, 10 GbE back-to-back).
+  core::Cluster cluster;
+  cluster.add_nodes(2, config);
+
+  // 3. Application buffers.
+  std::vector<std::uint8_t> small_msg(1024);
+  std::iota(small_msg.begin(), small_msg.end(), 0);
+  std::vector<std::uint8_t> large_msg(2 * sim::MiB, 0x5A);
+  std::vector<std::uint8_t> recv_small(small_msg.size());
+  std::vector<std::uint8_t> recv_large(large_msg.size());
+
+  // 4. One process per node, written in plain blocking style.
+  cluster.spawn(cluster.node(0), /*core=*/0, "sender", [&](core::Process& p) {
+    core::Endpoint ep(p, /*endpoint_id=*/0);
+    const core::Addr peer{/*node=*/1, /*endpoint=*/1};
+    ep.wait(ep.isend(small_msg.data(), small_msg.size(), peer, /*match=*/1));
+    ep.wait(ep.isend(large_msg.data(), large_msg.size(), peer, /*match=*/2));
+    std::printf("[%.3f ms] sender: both sends complete\n",
+                sim::to_seconds(p.now()) * 1e3);
+  });
+
+  cluster.spawn(cluster.node(1), 0, "receiver", [&](core::Process& p) {
+    core::Endpoint ep(p, 1);
+    core::Request* r1 = ep.irecv(recv_small.data(), recv_small.size(), 1);
+    core::Request* r2 = ep.irecv(recv_large.data(), recv_large.size(), 2);
+    const core::Request small_done = ep.wait(r1);
+    std::printf("[%.3f ms] receiver: eager message, %zu bytes\n",
+                sim::to_seconds(p.now()) * 1e3, small_done.recv_len);
+    const sim::Time t0 = p.now();
+    const core::Request large_done = ep.wait(r2);
+    std::printf("[%.3f ms] receiver: rendezvous message, %zu bytes "
+                "(%.0f MiB/s)\n",
+                sim::to_seconds(p.now()) * 1e3, large_done.recv_len,
+                sim::mib_per_second(large_done.recv_len, p.now() - t0));
+  });
+
+  // 5. Run the simulation to completion.
+  cluster.run();
+
+  const bool ok = recv_small == small_msg && recv_large == large_msg;
+  std::printf("payload verification: %s\n", ok ? "OK" : "MISMATCH");
+  std::printf("receiver I/OAT-offloaded bytes: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.node(1).driver().counters().get(
+                      "driver.large_ioat_bytes")));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,416 @@
+#include "core/endpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace openmx::core {
+
+namespace {
+bool matches(std::uint64_t incoming, std::uint64_t match, std::uint64_t mask) {
+  return (incoming & mask) == (match & mask);
+}
+}  // namespace
+
+Endpoint::Endpoint(Process& proc, std::uint16_t id)
+    : proc_(proc),
+      driver_(proc.node().driver()),
+      dep_(proc.node().driver().open_endpoint(id)) {}
+
+void Endpoint::charge_user(sim::Time t) {
+  if (t > 0)
+    proc_.node().machine().thread_advance(proc_.thread(), proc_.core(), t,
+                                          cpu::Cat::UserLib);
+}
+
+void Endpoint::charge_driver(sim::Time t) {
+  if (t > 0)
+    proc_.node().machine().thread_advance(proc_.thread(), proc_.core(), t,
+                                          cpu::Cat::DriverSyscall);
+}
+
+Request* Endpoint::new_request(Request::Kind kind) {
+  auto req = std::make_unique<Request>();
+  req->kind = kind;
+  req->id = next_req_id_++;
+  Request* raw = req.get();
+  requests_.emplace(raw->id, std::move(req));
+  return raw;
+}
+
+void Endpoint::release(Request* req) {
+  by_req_id_.erase(req->id);
+  requests_.erase(req->id);
+}
+
+Request* Endpoint::isend(const void* buf, std::size_t len, Addr dst,
+                         std::uint64_t match) {
+  // Send paths never write through the segment list.
+  return post_send(SegList{const_cast<void*>(buf), len}, dst, match);
+}
+
+Request* Endpoint::isendv(const IoVec* segs, std::size_t count, Addr dst,
+                          std::uint64_t match) {
+  return post_send(SegList{segs, count}, dst, match);
+}
+
+Request* Endpoint::post_send(SegList segs, Addr dst, std::uint64_t match) {
+  const auto& costs = proc_.node().params().costs;
+  const auto& cfg = driver_.config();
+  const std::size_t len = segs.total();
+  Request* req = new_request(Request::Kind::Send);
+  by_req_id_[req->id] = req;
+
+  charge_user(costs.lib_call_ns);
+  // Writing the payload is the application's job, but its footprint in the
+  // sender's cache matters for the intra-node path (Figure 10): record the
+  // producer's exclusive ownership of the lines without charging time.
+  segs.for_pieces(0, len, [&](std::uint8_t* p, std::size_t n) {
+    proc_.node().touch_exclusive(proc_.core(), p, n);
+  });
+
+  if (dst.node == proc_.node().id()) {
+    charge_driver(costs.syscall_ns + costs.cmd_post_ns);
+    driver_.cmd_send_local(dep_, segs, dst, match, req->id);
+    counters_.add("lib.send_local");
+    return req;
+  }
+
+  if (cfg.native_mx) {
+    // OS-bypass: the library writes the descriptor straight to the NIC.
+    charge_user(costs.mx_pio_ns);
+    if (len > cfg.eager_max) {
+      charge_driver(driver_.pin_cost_sync(segs));
+      driver_.cmd_send_rndv(dep_, segs, dst, match, req->id);
+    } else {
+      driver_.cmd_send_eager(dep_, segs, dst, match, req->id);
+    }
+    counters_.add("lib.send_native");
+    return req;
+  }
+
+  if (len > cfg.eager_max) {
+    charge_driver(costs.syscall_ns + costs.cmd_post_ns +
+                  driver_.pin_cost_sync(segs));
+    driver_.cmd_send_rndv(dep_, segs, dst, match, req->id);
+    counters_.add("lib.send_rndv");
+  } else {
+    const std::size_t nfrags =
+        len == 0 ? 1 : (len + cfg.frag_payload - 1) / cfg.frag_payload;
+    charge_driver(costs.syscall_ns + costs.cmd_post_ns +
+                  static_cast<sim::Time>(nfrags) *
+                      (costs.skb_alloc_ns + costs.tx_doorbell_ns));
+    driver_.cmd_send_eager(dep_, segs, dst, match, req->id);
+    counters_.add("lib.send_eager");
+  }
+  return req;
+}
+
+Request* Endpoint::irecv(void* buf, std::size_t capacity, std::uint64_t match,
+                         std::uint64_t mask) {
+  return post_recv(SegList{buf, capacity}, match, mask);
+}
+
+Request* Endpoint::irecvv(const IoVec* segs, std::size_t count,
+                          std::uint64_t match, std::uint64_t mask) {
+  return post_recv(SegList{segs, count}, match, mask);
+}
+
+Request* Endpoint::post_recv(SegList segs, std::uint64_t match,
+                             std::uint64_t mask) {
+  const auto& costs = proc_.node().params().costs;
+  Request* req = new_request(Request::Kind::Recv);
+  req->segs = std::move(segs);
+  req->capacity = req->segs.total();
+  req->match = match;
+  req->mask = mask;
+  charge_user(costs.lib_call_ns);
+
+  // MX semantics: search the unexpected queue first, in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(it->match, match, mask)) continue;
+    Unexpected u = std::move(*it);
+    unexpected_.erase(it);
+    req->msg_len = u.msg_len;
+    req->src = u.src;
+    switch (u.kind) {
+      case Unexpected::Kind::Rndv:
+        start_pull(req, u.src, u.handle, u.msg_seq, u.msg_len);
+        return req;
+      case Unexpected::Kind::Local:
+        do_local_copy(req, u.handle, u.msg_len, u.src);
+        return req;
+      case Unexpected::Kind::Eager: {
+        // Copy what the library already buffered; if fragments are still
+        // in flight, bind a reassembly so the rest lands directly.
+        const std::size_t frag = driver_.config().frag_payload;
+        std::size_t copied = 0;
+        for (std::size_t i = 0; i < u.got.size(); ++i) {
+          if (!u.got[i]) continue;
+          const std::size_t off = i * frag;
+          if (off >= u.msg_len) continue;
+          const std::size_t n = std::min(frag, u.msg_len - off);
+          copied += req->segs.write(off, u.data.data() + off, n);
+        }
+        charge_user(sim::duration_for_bytes(copied, costs.ring_copy_bw));
+        counters_.add("lib.unexpected_matched");
+        if (u.frags_done == u.frag_count) {
+          complete_recv(req);
+        } else {
+          Reasm r;
+          r.req = req;
+          r.frag_count = u.frag_count;
+          r.frags_done = u.frags_done;
+          reasm_[{peer_key(u.src), u.msg_seq}] = r;
+        }
+        return req;
+      }
+    }
+  }
+
+  posted_.push_back(req);
+  return req;
+}
+
+void Endpoint::complete_recv(Request* req) {
+  req->recv_len = std::min(req->msg_len, req->capacity);
+  req->done = true;
+}
+
+Request* Endpoint::match_posted(std::uint64_t match_info) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(match_info, (*it)->match, (*it)->mask)) {
+      Request* req = *it;
+      posted_.erase(it);
+      return req;
+    }
+  }
+  return nullptr;
+}
+
+void Endpoint::start_pull(Request* req, Addr src, std::uint32_t src_handle,
+                          std::uint32_t msg_seq, std::uint32_t msg_len) {
+  const auto& costs = proc_.node().params().costs;
+  const std::size_t len = std::min<std::size_t>(msg_len, req->capacity);
+  const SegList target = req->segs.prefix(len);
+  req->msg_len = msg_len;
+  req->src = src;
+  charge_driver(costs.syscall_ns + costs.cmd_post_ns +
+                driver_.pin_cost_sync(target));
+  by_req_id_[req->id] = req;
+  driver_.cmd_pull(dep_, target, src, src_handle, msg_seq, req->id);
+  counters_.add("lib.pulls");
+}
+
+void Endpoint::do_local_copy(Request* req, std::uint32_t handle,
+                             std::uint32_t msg_len, Addr src) {
+  const auto& costs = proc_.node().params().costs;
+  req->msg_len = msg_len;
+  req->src = src;
+  charge_driver(costs.syscall_ns + costs.cmd_post_ns);
+  const std::size_t n = driver_.cmd_local_copy(proc_.thread(), proc_.core(),
+                                               handle, req->segs);
+  req->recv_len = n;
+  req->done = true;
+  counters_.add("lib.local_copies");
+}
+
+void Endpoint::deliver_frag(Request* req, Reasm& r, const Event& ev) {
+  const auto& costs = proc_.node().params().costs;
+  const std::size_t off = ev.offset;
+  const std::size_t n = ev.data.size();
+  const std::size_t copied =
+      n > 0 ? req->segs.write(off, ev.data.data(), n) : 0;
+  // Second copy of the small/medium path (Figure 2): ring slot to the
+  // application buffer, performed by the library, usually cache-warm.
+  charge_user(sim::duration_for_bytes(copied, costs.ring_copy_bw));
+  ++r.frags_done;
+  if (r.frags_done == r.frag_count) {
+    req->msg_len = ev.msg_len;
+    complete_recv(req);
+  }
+}
+
+void Endpoint::on_eager_frag(Event& ev) {
+  const auto& costs = proc_.node().params().costs;
+  const FlowSeq key{peer_key(ev.src), ev.msg_seq};
+
+  if (auto it = reasm_.find(key); it != reasm_.end()) {
+    Request* req = it->second.req;
+    deliver_frag(req, it->second, ev);
+    if (req->done) reasm_.erase(it);
+    return;
+  }
+
+  // Fragments of a message the library has already buffered as unexpected?
+  for (auto& u : unexpected_) {
+    if (u.kind == Unexpected::Kind::Eager && u.src == ev.src &&
+        u.msg_seq == ev.msg_seq) {
+      if (u.got[ev.frag_idx]) return;
+      u.got[ev.frag_idx] = true;
+      ++u.frags_done;
+      if (!ev.data.empty())
+        std::memcpy(u.data.data() + ev.offset, ev.data.data(),
+                    ev.data.size());
+      charge_user(
+          sim::duration_for_bytes(ev.data.size(), costs.ring_copy_bw));
+      return;
+    }
+  }
+
+  // First fragment of a new message: match or buffer it.
+  if (Request* req = match_posted(ev.match_info)) {
+    req->src = ev.src;
+    req->msg_len = ev.msg_len;
+    Reasm r;
+    r.req = req;
+    r.frag_count = ev.frag_count;
+    deliver_frag(req, r, ev);
+    if (!req->done) reasm_[key] = r;
+    return;
+  }
+
+  Unexpected u;
+  u.kind = Unexpected::Kind::Eager;
+  u.src = ev.src;
+  u.match = ev.match_info;
+  u.msg_seq = ev.msg_seq;
+  u.msg_len = ev.msg_len;
+  u.frag_count = ev.frag_count;
+  u.got.assign(ev.frag_count, false);
+  u.data.assign(ev.msg_len, 0);
+  u.got[ev.frag_idx] = true;
+  u.frags_done = 1;
+  if (!ev.data.empty())
+    std::memcpy(u.data.data() + ev.offset, ev.data.data(), ev.data.size());
+  charge_user(sim::duration_for_bytes(ev.data.size(), costs.ring_copy_bw));
+  unexpected_.push_back(std::move(u));
+  counters_.add("lib.unexpected_eager");
+}
+
+void Endpoint::on_rndv(Event& ev) {
+  if (Request* req = match_posted(ev.match_info)) {
+    start_pull(req, ev.src, ev.local_handle, ev.msg_seq, ev.msg_len);
+    return;
+  }
+  Unexpected u;
+  u.kind = Unexpected::Kind::Rndv;
+  u.src = ev.src;
+  u.match = ev.match_info;
+  u.msg_seq = ev.msg_seq;
+  u.msg_len = ev.msg_len;
+  u.handle = ev.local_handle;
+  unexpected_.push_back(std::move(u));
+  counters_.add("lib.unexpected_rndv");
+}
+
+void Endpoint::on_local(Event& ev) {
+  if (Request* req = match_posted(ev.match_info)) {
+    do_local_copy(req, ev.local_handle, ev.msg_len, ev.src);
+    return;
+  }
+  Unexpected u;
+  u.kind = Unexpected::Kind::Local;
+  u.src = ev.src;
+  u.match = ev.match_info;
+  u.msg_seq = ev.msg_seq;
+  u.msg_len = ev.msg_len;
+  u.handle = ev.local_handle;
+  unexpected_.push_back(std::move(u));
+  counters_.add("lib.unexpected_local");
+}
+
+void Endpoint::handle_event(Event& ev) {
+  switch (ev.type) {
+    case EvType::EagerFrag:
+      on_eager_frag(ev);
+      break;
+    case EvType::RndvArrived:
+      on_rndv(ev);
+      break;
+    case EvType::LocalMsg:
+      on_local(ev);
+      break;
+    case EvType::LargeRecvDone: {
+      auto it = by_req_id_.find(ev.request_id);
+      if (it != by_req_id_.end()) {
+        it->second->recv_len =
+            ev.failed ? 0
+                      : std::min<std::size_t>(ev.msg_len,
+                                              it->second->capacity);
+        it->second->msg_len = ev.msg_len;
+        it->second->failed = ev.failed;
+        it->second->done = true;
+      }
+      break;
+    }
+    case EvType::SendDone: {
+      auto it = by_req_id_.find(ev.request_id);
+      if (it != by_req_id_.end()) {
+        it->second->failed = ev.failed;
+        it->second->done = true;
+      }
+      break;
+    }
+  }
+}
+
+void Endpoint::poll() {
+  const auto& costs = proc_.node().params().costs;
+  const sim::Time fetch =
+      driver_.config().native_mx ? costs.mx_event_ns : costs.lib_event_ns;
+  while (dep_.has_events()) {
+    Event ev = dep_.pop_event();
+    charge_user(fetch);
+    handle_event(ev);
+  }
+}
+
+bool Endpoint::test(Request* req, Request* out) {
+  poll();
+  if (!req->done) return false;
+  if (out) *out = *req;
+  release(req);
+  return true;
+}
+
+bool Endpoint::iprobe(std::uint64_t match, std::uint64_t mask, Addr* src,
+                      std::size_t* msg_len) {
+  poll();
+  for (const Unexpected& u : unexpected_) {
+    if (!matches(u.match, match, mask)) continue;
+    if (src) *src = u.src;
+    if (msg_len) *msg_len = u.msg_len;
+    counters_.add("lib.iprobe_hits");
+    return true;
+  }
+  return false;
+}
+
+bool Endpoint::cancel(Request* req) {
+  if (req->kind != Request::Kind::Recv) return false;
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (*it == req) {
+      posted_.erase(it);
+      release(req);
+      counters_.add("lib.cancels");
+      return true;
+    }
+  }
+  return false;  // already matched (reassembly or pull in progress)
+}
+
+Request Endpoint::wait(Request* req) {
+  while (!req->done) {
+    if (dep_.has_events()) {
+      poll();
+      continue;
+    }
+    dep_.waitq().sleep(proc_.thread());
+  }
+  Request out = *req;
+  release(req);
+  return out;
+}
+
+}  // namespace openmx::core

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/seglist.hpp"
+#include "core/process.hpp"
+#include "sim/stats.hpp"
+
+namespace openmx::core {
+
+/// A pending communication request, in the style of an mx_request_t.
+///
+/// Returned by Endpoint::isend/irecv; owned by the endpoint.  A request
+/// pointer is invalidated when wait() returns or test() returns true
+/// (mirroring MX, where a successful test/wait releases the handle).
+struct Request {
+  enum class Kind : std::uint8_t { Send, Recv };
+
+  Kind kind{};
+  bool done = false;
+  std::uint64_t id = 0;
+
+  // Receive-side bookkeeping.
+  SegList segs;              // scatter list of the application buffer
+  std::size_t capacity = 0;  // segs.total()
+  std::uint64_t match = 0;
+  std::uint64_t mask = ~0ULL;
+  std::size_t msg_len = 0;   // sender's length once known
+  std::size_t recv_len = 0;  // bytes actually delivered (<= capacity)
+  Addr src;                  // peer that satisfied this request
+  bool failed = false;       // completed with error (retries exhausted)
+};
+
+/// The Open-MX user-space library for one endpoint: exposes the Myrinet
+/// Express API style (isend/irecv/test/wait with 64-bit match info and
+/// mask), performs the matching, reassembles eager messages out of the
+/// receive ring, triggers large-message pulls and intra-node one-copy
+/// syscalls (Sections II-A and III).
+///
+/// All methods must be called from the owning Process's thread.
+class Endpoint {
+ public:
+  Endpoint(Process& proc, std::uint16_t id);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] Addr addr() const { return dep_.addr(); }
+  [[nodiscard]] Process& process() { return proc_; }
+
+  /// Posts a send.  The path — intra-node one-copy, eager, or rendezvous —
+  /// is chosen by destination and length, exactly as the driver does
+  /// ("the driver automatically switches from regular to local
+  /// communication", Section V).
+  Request* isend(const void* buf, std::size_t len, Addr dst,
+                 std::uint64_t match);
+
+  /// Vectorial send (mx_isend with a segment list).  Small segments split
+  /// every copy at their boundaries — the case Section IV-A flags as
+  /// hostile to I/OAT offload.
+  Request* isendv(const IoVec* segs, std::size_t count, Addr dst,
+                  std::uint64_t match);
+
+  /// Posts a receive matching `(incoming.match & mask) == (match & mask)`.
+  Request* irecv(void* buf, std::size_t capacity, std::uint64_t match,
+                 std::uint64_t mask = ~0ULL);
+
+  /// Vectorial receive: incoming data is scattered into the segments.
+  Request* irecvv(const IoVec* segs, std::size_t count, std::uint64_t match,
+                  std::uint64_t mask = ~0ULL);
+
+  /// Non-blocking completion check; on true the request is released.
+  /// `out` (optional) receives a copy of the completed request's fields.
+  bool test(Request* req, Request* out = nullptr);
+
+  /// mx_iprobe: checks whether an unexpected message matching
+  /// (match, mask) is waiting, without receiving it.  Returns true and
+  /// fills `src`/`msg_len` (when non-null) on a hit.
+  bool iprobe(std::uint64_t match, std::uint64_t mask, Addr* src = nullptr,
+              std::size_t* msg_len = nullptr);
+
+  /// mx_cancel: withdraws a posted receive that has not matched yet.
+  /// Returns true if the request was cancelled and released; false if it
+  /// already matched (it must then be waited on normally).
+  bool cancel(Request* req);
+
+  /// Blocks (sleeping in the event ring's wait queue) until completion;
+  /// the request is released.  Returns a copy of its final state.
+  Request wait(Request* req);
+
+  /// Drives progress without blocking: drains every pending event.
+  void poll();
+
+  [[nodiscard]] sim::Counters& counters() { return counters_; }
+
+ private:
+  struct Unexpected {
+    enum class Kind : std::uint8_t { Eager, Rndv, Local };
+    Kind kind{};
+    Addr src;
+    std::uint64_t match = 0;
+    std::uint32_t msg_seq = 0;
+    std::uint32_t msg_len = 0;
+    std::uint32_t handle = 0;  // rndv: sender handle; local: copy handle
+    std::uint16_t frag_count = 1;
+    std::size_t frags_done = 0;
+    std::vector<bool> got;
+    std::vector<std::uint8_t> data;  // eager payload buffered by the lib
+  };
+
+  /// An eager message being reassembled straight into a matched receive.
+  struct Reasm {
+    Request* req = nullptr;
+    std::uint16_t frag_count = 1;
+    std::size_t frags_done = 0;
+  };
+
+  using FlowSeq = std::pair<std::uint64_t, std::uint32_t>;  // (peer, seq)
+
+  void handle_event(Event& ev);
+  void on_eager_frag(Event& ev);
+  void on_rndv(Event& ev);
+  void on_local(Event& ev);
+  Request* match_posted(std::uint64_t match_info);
+  Request* post_recv(SegList segs, std::uint64_t match, std::uint64_t mask);
+  Request* post_send(SegList segs, Addr dst, std::uint64_t match);
+  void start_pull(Request* req, Addr src, std::uint32_t src_handle,
+                  std::uint32_t msg_seq, std::uint32_t msg_len);
+  void do_local_copy(Request* req, std::uint32_t handle,
+                     std::uint32_t msg_len, Addr src);
+  void deliver_frag(Request* req, Reasm& r, const Event& ev);
+  void complete_recv(Request* req);
+  Request* new_request(Request::Kind kind);
+  void release(Request* req);
+  void charge_user(sim::Time t);
+  void charge_driver(sim::Time t);
+  std::uint64_t peer_key(Addr a) const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.node))
+            << 16) |
+           a.endpoint;
+  }
+
+  Process& proc_;
+  Driver& driver_;
+  DriverEndpoint& dep_;
+  std::map<std::uint64_t, std::unique_ptr<Request>> requests_;
+  std::uint64_t next_req_id_ = 1;
+
+  std::vector<Request*> posted_;                  // posted receives, in order
+  std::deque<Unexpected> unexpected_;             // unmatched messages
+  std::map<FlowSeq, Reasm> reasm_;                // matched eager in progress
+  std::map<std::uint64_t, Request*> by_req_id_;   // SendDone/LargeRecvDone
+  sim::Counters counters_;
+};
+
+}  // namespace openmx::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wire.hpp"
+
+namespace openmx::core {
+
+/// Type of a completion event the driver reports to the user library
+/// through the endpoint's shared event ring (Section II-A: "they return
+/// the same events to the user-space library" for local and network
+/// communication alike).
+enum class EvType : std::uint8_t {
+  EagerFrag,      // an eager fragment landed in the receive ring
+  RndvArrived,    // a large-message rendezvous needs matching
+  LargeRecvDone,  // all fragments of a pulled large message are in place
+  SendDone,       // a send request completed (acked / copied)
+  LocalMsg,       // an intra-node message awaits the one-copy syscall
+};
+
+/// One entry of the per-endpoint event ring.
+///
+/// For eager fragments, `data` models the statically pinned user-space
+/// ring slot the bottom half copied the fragment into; the library's
+/// second copy reads from here (Figure 2's small/medium path).
+struct Event {
+  EvType type{};
+  Addr src;                        // remote (or local peer) endpoint
+  std::uint64_t match_info = 0;
+  std::uint32_t msg_seq = 0;
+  std::uint32_t msg_len = 0;
+  std::uint16_t frag_idx = 0;
+  std::uint16_t frag_count = 1;
+  std::uint32_t offset = 0;
+  std::vector<std::uint8_t> data;  // eager: fragment bytes in the ring
+  std::uint64_t request_id = 0;    // SendDone / LargeRecvDone correlation
+  std::uint32_t local_handle = 0;  // LocalMsg: handle for cmd_local_copy
+  bool failed = false;             // completion-with-error (peer unreachable)
+};
+
+}  // namespace openmx::core

@@ -1,0 +1,27 @@
+#include "core/node.hpp"
+
+#include "core/driver.hpp"
+
+namespace openmx::core {
+
+Node::Node(sim::Engine& engine, net::Network& network, int id,
+           const NodeParams& params, const OmxConfig& config)
+    : engine_(engine),
+      network_(network),
+      id_(id),
+      params_(params),
+      machine_(engine),
+      caches_(cpu::Machine::kSockets * cpu::Machine::kSubchipsPerSocket,
+              mem::CacheModel{params.l2_bytes}),
+      ioat_(engine, params.ioat),
+      // NIC interrupts are steered to core 1 by default: a different core
+      // than the (default) application core 0, as in the paper's runs
+      // where the bottom half saturates its own core.
+      nic_(engine, machine_, bus_, id, /*bh_core=*/1) {
+  network_.attach(nic_);
+  driver_ = std::make_unique<Driver>(*this, config);
+}
+
+Node::~Node() = default;
+
+}  // namespace openmx::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine.hpp"
+#include "core/params.hpp"
+#include "dma/ioat.hpp"
+#include "mem/cache_model.hpp"
+#include "mem/memcpy_model.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace openmx::core {
+
+class Driver;
+
+/// One cluster node: dual quad-core Clovertown machine, its per-subchip
+/// shared L2 caches, the 5000X chipset's I/OAT DMA engine, one 10 GbE NIC
+/// and the Open-MX driver (Figure 4 of the paper).
+class Node {
+ public:
+  Node(sim::Engine& engine, net::Network& network, int id,
+       const NodeParams& params, const OmxConfig& config);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] cpu::Machine& machine() { return machine_; }
+  [[nodiscard]] mem::MemBus& bus() { return bus_; }
+  [[nodiscard]] dma::IoatEngine& ioat() { return ioat_; }
+  [[nodiscard]] net::Nic& nic() { return nic_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] Driver& driver() { return *driver_; }
+  [[nodiscard]] const NodeParams& params() const { return params_; }
+
+  /// Shared L2 cache seen by `core` (one per dual-core subchip).
+  [[nodiscard]] mem::CacheModel& cache_for_core(int core) {
+    return caches_[static_cast<std::size_t>(cpu::Machine::subchip_of(core))];
+  }
+
+  /// A store by `core` to [ptr, ptr+len): the lines become resident in its
+  /// own L2 and are invalidated everywhere else (MESI ownership).  This is
+  /// what makes the producer's writes visible as cache hits only to the
+  /// subchip it shares with the consumer (Figure 10).
+  void touch_exclusive(int core, const void* ptr, std::size_t len) {
+    const int own = cpu::Machine::subchip_of(core);
+    for (std::size_t i = 0; i < caches_.size(); ++i) {
+      if (static_cast<int>(i) == own)
+        caches_[i].touch(ptr, len);
+      else
+        caches_[i].invalidate(ptr, len);
+    }
+  }
+
+  void flush_caches() {
+    for (auto& c : caches_) c.flush();
+  }
+
+ private:
+  sim::Engine& engine_;
+  net::Network& network_;
+  int id_;
+  NodeParams params_;
+  cpu::Machine machine_;
+  mem::MemBus bus_;
+  std::vector<mem::CacheModel> caches_;
+  dma::IoatEngine ioat_;
+  net::Nic nic_;
+  std::unique_ptr<Driver> driver_;
+};
+
+}  // namespace openmx::core

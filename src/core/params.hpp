@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dma/ioat.hpp"
+#include "mem/memcpy_model.hpp"
+#include "mem/pinning.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::core {
+
+/// Host-side per-operation costs of the Open-MX stack (and of the native
+/// MX baseline), calibrated against the paper:
+///  - a system call costs ~100 ns on recent Intel processors (footnote 1);
+///  - the memcpy-based receive path saturates one 2.33 GHz core near
+///    800 MiB/s on the 10 GbE link (Section II-B / Figure 3), which fixes
+///    the per-fragment bottom-half budget around 5 us per 4 KiB fragment;
+///  - the user-library share of receive CPU time is small (Figure 9).
+struct OmxCosts {
+  // --- user library ---
+  sim::Time syscall_ns = 100;        // kernel entry/exit (paper footnote 1)
+  sim::Time lib_call_ns = 120;       // request bookkeeping per isend/irecv
+  sim::Time lib_event_ns = 150;      // fetching + matching one event
+  sim::Time lib_wakeup_ns = 800;     // scheduler latency waking a sleeper
+
+  // --- driver, syscall context ---
+  sim::Time cmd_post_ns = 150;       // validating + queuing one command
+  sim::Time skb_alloc_ns = 250;      // skbuff alloc + page attach per frame
+  sim::Time tx_doorbell_ns = 100;    // handing a frame to the NIC driver
+
+  // --- driver, bottom-half context ---
+  sim::Time bh_frag_ns = 900;        // header decode, lookup, event write
+  sim::Time bh_pullreq_ns = 500;     // servicing one pull request (sender)
+  sim::Time bh_ack_ns = 300;         // processing an ack frame
+
+  // The per-endpoint receive ring is small and constantly reused, so
+  // copies into it stay warm in the receiving core's cache; this is why
+  // offloading 4 KiB *synchronous* medium copies to I/OAT degrades
+  // performance (Section IV-C) while offloading cold large-message copies
+  // wins.
+  double ring_copy_bw = 2.4 * static_cast<double>(sim::GiB);
+
+  // --- intra-node (shared-memory) single-copy path, Section III-C ---
+  // Effective process-to-process copy rates through the driver: both the
+  // read and the write stream hit the same shared L2 when the processes
+  // sit on one subchip (Figure 10: ~6 GiB/s below cache size), and drop to
+  // memory speed across sockets (~1.2 GiB/s).
+  double shm_cached_bw = 6.0 * static_cast<double>(sim::GiB);
+  double shm_uncached_bw = 1.2 * static_cast<double>(sim::GiB);
+
+  // --- native MX baseline (Myri-10G firmware does the work) ---
+  sim::Time mx_pio_ns = 150;         // OS-bypass doorbell write
+  sim::Time mx_event_ns = 120;       // NIC-written completion event fetch
+  sim::Time mx_bh_ns = 200;          // tiny host-side interrupt work
+};
+
+/// Open-MX protocol and offload configuration.  One instance per node;
+/// benchmarks flip these switches to produce the paper's A/B curves.
+struct OmxConfig {
+  // --- protocol constants ---
+  std::size_t frag_payload = 4096;      // page-based fragments (Section II-B)
+  std::size_t eager_max = 32 * sim::KiB;  // rendezvous threshold (Figure 10)
+  int pull_block_frags = 8;             // fragments per pull block
+  int pull_blocks_outstanding = 2;      // "two pipelined blocks of 8" (fn 3)
+  sim::Time retrans_timeout = 500 * sim::kMicrosecond;
+  int max_retries = 16;  // give up and report failure after this many
+
+  // --- I/OAT offload switches (the paper's contribution) ---
+  bool ioat_large = false;   // async offload of large-fragment copies (III-A)
+  bool ioat_medium = false;  // sync offload of medium copies (III-C, loses)
+  // Section VI future work, implemented here: report a single completion
+  // per medium message (matching effectively moved into the driver) so
+  // multi-fragment medium copies overlap on the DMA engine exactly like
+  // large-message fragments do.
+  bool ioat_medium_overlap = false;
+  bool ioat_shm = false;     // sync offload of the local one-copy path (III-C)
+
+  // Empirical thresholds from Section IV-A: "offload memory copies of
+  // fragments larger than 1 kB for messages larger than 64 kB".
+  std::size_t ioat_min_msg = 64 * sim::KiB;
+  std::size_t ioat_min_frag = 1 * sim::KiB;
+  // Shared-memory offload only beyond 1 MB (Section IV-C).
+  std::size_t ioat_shm_min_msg = 1 * sim::MiB;
+
+  // --- other stack features ---
+  bool regcache = true;          // registration cache (Section IV-D)
+  bool ignore_bh_copy = false;   // prediction mode of Figure 3: charge no
+                                 // time for BH copies (data still moves)
+  bool native_mx = false;        // model the native MX/MXoE stack instead
+
+  // --- extensions (paper Sections V/VI future work) ---
+  bool sleep_sync_copy = false;   // sleep until predicted completion instead
+                                  // of busy-polling synchronous copies
+  bool cache_warm_head = false;   // memcpy the head of a large message when
+                                  // the target shares the BH core's cache
+  bool overlap_registration = false;  // overlap pinning with the transfer
+  bool autotune_thresholds = false;   // calibrate ioat_min_* at startup
+  int channels_per_msg = 1;       // >1 stripes one message across channels
+
+  // --- ablation switches (DESIGN.md Section 5; not in the paper) ---
+  // Busy-wait for each fragment's DMA copy inside its own bottom half
+  // instead of overlapping until the last fragment (disables the paper's
+  // central optimization while keeping the offload).
+  bool ioat_large_sync = false;
+  // Run the skbuff cleanup routine when pull-block requests go out
+  // (paper Section III-B).  Off = release only at message completion,
+  // letting the pending-skbuff pool grow with message size.
+  bool cleanup_on_block = true;
+};
+
+/// Everything timing-related bundled for a node.
+struct NodeParams {
+  OmxCosts costs;
+  mem::MemcpyModel memcpy_model;
+  mem::PinModel pin_model;
+  dma::IoatParams ioat;
+  std::size_t l2_bytes = 4 * sim::MiB;  // Xeon E5345 shared L2 per subchip
+};
+
+}  // namespace openmx::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::mem {
+
+/// Cost model for pinning user pages (get_user_pages) before DMA.
+///
+/// Open-MX registration is cheap compared to high-speed NICs because no
+/// address translation needs to be pushed to NIC SRAM (paper Section IV-D);
+/// only the kernel-side page walk and refcounting remain.
+struct PinModel {
+  sim::Time base_ns = 300;      // syscall-side setup per region
+  sim::Time per_page_ns = 220;  // page-table walk + get_page per 4 KiB page
+
+  [[nodiscard]] sim::Time cost(std::size_t len) const {
+    const std::size_t pages = (len + 4095) / 4096;
+    return base_ns + per_page_ns * static_cast<sim::Time>(pages);
+  }
+};
+
+/// Registration cache: defers deregistration so that re-sending from the
+/// same buffer skips the pinning cost (paper Section IV-D, [20]).
+///
+/// Mirrors the classic pin-down cache: exact-range hits only, unbounded
+/// (experiments reuse a handful of buffers), explicitly invalidated when a
+/// test wants cold-start behaviour.
+class RegCache {
+ public:
+  explicit RegCache(bool enabled) : enabled_(enabled) {}
+
+  /// Returns true if [addr, addr+len) is already registered (cache hit,
+  /// pinning cost avoided).  On miss the region is recorded as pinned.
+  bool lookup_or_insert(const void* addr, std::size_t len) {
+    if (!enabled_) {
+      counters_.add("regcache.bypass");
+      return false;
+    }
+    const Key k{reinterpret_cast<std::uintptr_t>(addr), len};
+    auto [it, inserted] = regions_.insert({k, 1});
+    if (!inserted) {
+      ++it->second;
+      counters_.add("regcache.hit");
+      return true;
+    }
+    counters_.add("regcache.miss");
+    return false;
+  }
+
+  /// Drops every cached registration (address-space change, test reset).
+  void invalidate_all() { regions_.clear(); }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool e) {
+    enabled_ = e;
+    if (!e) invalidate_all();
+  }
+
+  [[nodiscard]] std::size_t size() const { return regions_.size(); }
+  [[nodiscard]] const sim::Counters& counters() const { return counters_; }
+
+ private:
+  struct Key {
+    std::uintptr_t addr;
+    std::size_t len;
+    bool operator<(const Key& o) const {
+      return addr != o.addr ? addr < o.addr : len < o.len;
+    }
+  };
+
+  bool enabled_;
+  std::map<Key, std::uint64_t> regions_;
+  sim::Counters counters_;
+};
+
+}  // namespace openmx::mem

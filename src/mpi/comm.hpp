@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "core/process.hpp"
+#include "core/wire.hpp"
+
+namespace openmx::mpi {
+
+/// Match-info encoding for the MPI layer on top of the 64-bit MX match
+/// space: [63:48] context id, [47:32] tag, [15:0] source rank.
+inline std::uint64_t encode_match(std::uint16_t ctx, std::uint16_t tag,
+                                  std::uint16_t src_rank) {
+  return (static_cast<std::uint64_t>(ctx) << 48) |
+         (static_cast<std::uint64_t>(tag) << 32) |
+         static_cast<std::uint64_t>(src_rank);
+}
+
+inline constexpr std::uint64_t kMatchFullMask = ~0ULL;
+inline constexpr std::uint16_t kCtxPt2pt = 1;
+inline constexpr std::uint16_t kCtxColl = 2;
+
+/// A communicator bound to one rank's endpoint, in the style of MPICH-MX
+/// running on top of the MX API (Section IV-D).
+///
+/// Provides the point-to-point primitives and every collective the Intel
+/// MPI Benchmarks suite in Figure 12 exercises.  Collectives carry a
+/// per-operation sequence number in the tag bits, so back-to-back
+/// collectives never cross-match.
+class Comm {
+ public:
+  Comm(core::Process& proc, core::Endpoint& ep, int rank,
+       std::vector<core::Addr> ranks)
+      : proc_(proc), ep_(ep), rank_(rank), ranks_(std::move(ranks)) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] core::Process& process() { return proc_; }
+  [[nodiscard]] core::Endpoint& endpoint() { return ep_; }
+  [[nodiscard]] sim::Time now() const { return proc_.now(); }
+
+  // ----- point-to-point -----
+  core::Request* isend(const void* buf, std::size_t len, int dst, int tag);
+  core::Request* irecv(void* buf, std::size_t len, int src, int tag);
+  void send(const void* buf, std::size_t len, int dst, int tag);
+  /// Returns the number of bytes received.
+  std::size_t recv(void* buf, std::size_t len, int src, int tag);
+  void wait(core::Request* req) { ep_.wait(req); }
+  void sendrecv(const void* sbuf, std::size_t slen, int dst,
+                void* rbuf, std::size_t rlen, int src, int tag);
+
+  // ----- collectives -----
+  void barrier();
+  void bcast(void* buf, std::size_t len, int root);
+  /// Element-wise double-precision sum into `buf` at the root.
+  void reduce(double* buf, std::size_t count, int root);
+  void allreduce(double* buf, std::size_t count);
+  /// MPI_Reduce_scatter_block semantics: the full vector has
+  /// `count_per_rank * size()` elements; each rank ends up with its block
+  /// of the element-wise sum in buf[0 .. count_per_rank).
+  void reduce_scatter(double* buf, std::size_t count_per_rank);
+  /// Root collects each rank's `len` bytes into recvb (rank order).
+  void gather(const void* sendb, std::size_t len, void* recvb, int root);
+  /// Root distributes `len`-byte blocks of sendb to each rank's recvb.
+  void scatter(const void* sendb, std::size_t len, void* recvb, int root);
+  void allgather(const void* sendb, std::size_t len, void* recvb);
+  void allgatherv(const void* sendb, std::size_t len,
+                  const std::vector<std::size_t>& lens, void* recvb);
+  void alltoall(const void* sendb, std::size_t len_per_rank, void* recvb);
+  void alltoallv(const void* sendb, const std::vector<std::size_t>& slens,
+                 void* recvb, const std::vector<std::size_t>& rlens);
+
+ private:
+  std::uint64_t pt2pt_match(int src_rank, int tag) const {
+    return encode_match(kCtxPt2pt, static_cast<std::uint16_t>(tag),
+                        static_cast<std::uint16_t>(src_rank));
+  }
+  std::uint64_t coll_match(int src_rank, std::uint16_t op_seq) const {
+    return encode_match(kCtxColl, op_seq,
+                        static_cast<std::uint16_t>(src_rank));
+  }
+  void coll_send(const void* buf, std::size_t len, int dst,
+                 std::uint16_t seq);
+  void coll_recv(void* buf, std::size_t len, int src, std::uint16_t seq);
+  void coll_sendrecv(const void* sbuf, std::size_t slen, int dst, void* rbuf,
+                     std::size_t rlen, int src, std::uint16_t seq);
+
+  core::Process& proc_;
+  core::Endpoint& ep_;
+  int rank_;
+  std::vector<core::Addr> ranks_;
+  std::uint16_t coll_seq_ = 0;
+};
+
+}  // namespace openmx::mpi

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/endpoint.hpp"
+#include "mpi/comm.hpp"
+
+namespace openmx::mpi {
+
+/// Where one rank runs.
+struct Placement {
+  int node = 0;
+  int core = 0;
+};
+
+/// Standard placements: `ppn` processes on each of `nnodes` nodes, ranks
+/// assigned round-robin across nodes (mpirun's default), so ranks 0 and 1
+/// land on different nodes — PingPong between them crosses the wire.
+/// Application processes land on cores 0, 2, 4, ... so they never share a
+/// core with the NIC bottom half (core 1); with 2 ppn the two processes
+/// sit on different subchips, as in the paper's IMB runs.
+inline std::vector<Placement> placements(int nnodes, int ppn) {
+  std::vector<Placement> out;
+  for (int p = 0; p < ppn; ++p)
+    for (int n = 0; n < nnodes; ++n)
+      out.push_back(Placement{n, p == 0 ? 0 : 2 * p});
+  return out;
+}
+
+/// Launches one SPMD body per rank on an existing cluster and runs the
+/// simulation to completion — the moral equivalent of mpirun on the
+/// simulated testbed.
+class World {
+ public:
+  World(core::Cluster& cluster, std::vector<Placement> placement)
+      : cluster_(cluster), placement_(std::move(placement)) {
+    for (std::size_t r = 0; r < placement_.size(); ++r) {
+      addrs_.push_back(core::Addr{
+          placement_[r].node, static_cast<std::uint16_t>(r)});
+      // Pre-open the driver-side endpoints so no rank races ahead of a
+      // peer that has not attached yet.
+      cluster_.node(static_cast<std::size_t>(placement_[r].node))
+          .driver()
+          .open_endpoint(static_cast<std::uint16_t>(r));
+    }
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(placement_.size()); }
+
+  /// Spawns the ranks and runs to quiescence.
+  void run(std::function<void(Comm&)> body) {
+    for (std::size_t r = 0; r < placement_.size(); ++r) {
+      const Placement pl = placement_[r];
+      auto addrs = addrs_;
+      cluster_.spawn(
+          cluster_.node(static_cast<std::size_t>(pl.node)), pl.core,
+          "rank" + std::to_string(r),
+          [r, addrs, body](core::Process& proc) {
+            core::Endpoint ep(proc, static_cast<std::uint16_t>(r));
+            Comm comm(proc, ep, static_cast<int>(r), addrs);
+            body(comm);
+          });
+    }
+    cluster_.run();
+  }
+
+ private:
+  core::Cluster& cluster_;
+  std::vector<Placement> placement_;
+  std::vector<core::Addr> addrs_;
+};
+
+}  // namespace openmx::mpi

@@ -1,0 +1,100 @@
+#include "nas/is_kernel.hpp"
+
+#include <algorithm>
+
+namespace openmx::nas {
+
+IsResult run_is(mpi::Comm& comm, const IsParams& params) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const std::uint32_t bucket_width =
+      (params.max_key + static_cast<std::uint32_t>(p) - 1) /
+      static_cast<std::uint32_t>(p);
+
+  // Deterministic per-rank key set.
+  sim::Rng rng(params.seed + static_cast<std::uint64_t>(r) * 977);
+  std::vector<std::uint32_t> keys(params.keys_per_rank);
+  for (auto& k : keys)
+    k = static_cast<std::uint32_t>(rng.next_below(params.max_key));
+
+  comm.barrier();
+  const sim::Time t0 = comm.now();
+  std::vector<std::uint32_t> mine;  // keys this rank owns after exchange
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // 1. Local bucket counting (modeled CPU time + real counting).
+    comm.process().compute(
+        static_cast<sim::Time>(keys.size()) * params.ns_per_key);
+    std::vector<std::vector<std::uint32_t>> buckets(
+        static_cast<std::size_t>(p));
+    for (std::uint32_t k : keys)
+      buckets[std::min<std::size_t>(k / bucket_width,
+                                    static_cast<std::size_t>(p) - 1)]
+          .push_back(k);
+
+    // 2. Allreduce of the global bucket histogram (small message).
+    std::vector<double> histogram(static_cast<std::size_t>(p));
+    for (int b = 0; b < p; ++b)
+      histogram[static_cast<std::size_t>(b)] =
+          static_cast<double>(buckets[static_cast<std::size_t>(b)].size());
+    comm.allreduce(histogram.data(), histogram.size());
+
+    // 3. Alltoallv of the keys themselves — the large-message phase.
+    std::vector<std::size_t> slens, rlens(static_cast<std::size_t>(p));
+    std::vector<std::uint32_t> sbuf;
+    for (int b = 0; b < p; ++b) {
+      slens.push_back(buckets[static_cast<std::size_t>(b)].size() *
+                      sizeof(std::uint32_t));
+      sbuf.insert(sbuf.end(), buckets[static_cast<std::size_t>(b)].begin(),
+                  buckets[static_cast<std::size_t>(b)].end());
+    }
+    // Exchange the byte counts first (tiny alltoall).
+    std::vector<std::size_t> slens_bytes = slens;
+    {
+      std::vector<std::uint64_t> scnt(slens.begin(), slens.end());
+      std::vector<std::uint64_t> rcnt(static_cast<std::size_t>(p));
+      comm.alltoall(scnt.data(), sizeof(std::uint64_t), rcnt.data());
+      for (int b = 0; b < p; ++b)
+        rlens[static_cast<std::size_t>(b)] =
+            static_cast<std::size_t>(rcnt[static_cast<std::size_t>(b)]);
+    }
+    std::size_t rtotal = 0;
+    for (auto v : rlens) rtotal += v;
+    std::vector<std::uint32_t> rbuf(rtotal / sizeof(std::uint32_t));
+    comm.alltoallv(sbuf.data(), slens_bytes, rbuf.data(), rlens);
+
+    // 4. Local ranking of the received keys (modeled + real sort on the
+    // last iteration so the result can be verified).
+    comm.process().compute(
+        static_cast<sim::Time>(rbuf.size()) * 2 * params.ns_per_key);
+    if (iter == params.iterations - 1) {
+      std::sort(rbuf.begin(), rbuf.end());
+      mine = std::move(rbuf);
+    }
+  }
+
+  comm.barrier();
+  IsResult res;
+  res.total_time = comm.now() - t0;
+  res.time_per_iteration = res.total_time / params.iterations;
+
+  // Verification: gather bucket boundaries on rank 0 via the existing
+  // primitives — each rank checks its own keys are within its bucket and
+  // sorted, then rank 0 aggregates the verdicts.
+  bool ok = std::is_sorted(mine.begin(), mine.end());
+  for (std::uint32_t k : mine) {
+    const auto b = std::min<std::size_t>(k / bucket_width,
+                                         static_cast<std::size_t>(p) - 1);
+    if (static_cast<int>(b) != r) ok = false;
+  }
+  std::vector<double> verdicts(static_cast<std::size_t>(p), 0.0);
+  verdicts[static_cast<std::size_t>(r)] = ok ? 1.0 : 0.0;
+  comm.allreduce(verdicts.data(), verdicts.size());
+  res.sorted = true;
+  for (double v : verdicts)
+    if (v < 0.5) res.sorted = false;
+  res.keys_checked = mine.size();
+  return res;
+}
+
+}  // namespace openmx::nas

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace openmx::sim {
+
+/// Handle to a scheduled event that may be cancelled before it fires.
+///
+/// Cancellation is O(1): the event stays in the queue but its shared
+/// liveness flag is cleared, and the dispatch loop skips dead events.
+/// Used by retransmission timers, which are cancelled far more often
+/// than they fire.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Idempotent.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (scheduled, not fired or cancelled).
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Deterministic discrete-event engine with nanosecond virtual time.
+///
+/// Events scheduled for the same instant fire in schedule order (FIFO via a
+/// monotonically increasing sequence number), which makes every experiment
+/// bit-reproducible.  The engine is strictly single-threaded: only the
+/// currently running entity (the engine itself, or the one SimThread it has
+/// handed control to) may call schedule().
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  void schedule(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (must not be in the past).
+  void schedule_at(Time when, std::function<void()> fn) {
+    if (when < now_) throw std::logic_error("Engine: scheduling in the past");
+    queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+    ++pending_;
+  }
+
+  /// Schedules a cancellable event; see EventHandle.
+  EventHandle schedule_cancellable(Time delay, std::function<void()> fn) {
+    auto alive = std::make_shared<bool>(true);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
+    ++pending_;
+    return EventHandle{alive};
+  }
+
+  /// Runs until the event queue is empty (cancelled events do not keep the
+  /// engine alive).  Returns the final virtual time.
+  Time run() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  /// Runs events up to and including time `deadline`.  Events scheduled
+  /// after the deadline remain queued.  Returns current virtual time.
+  Time run_until(Time deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+    return now_;
+  }
+
+  /// Dispatches the single next live event.  Returns false when drained.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      --pending_;
+      if (ev.alive && !*ev.alive) continue;  // cancelled
+      now_ = ev.when;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Number of scheduled-but-not-yet-dispatched events, including
+  /// cancelled ones that have not been skipped yet.
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
+
+  /// Event trace shared by every component driven by this engine
+  /// (disabled by default; see sim::Trace).
+  [[nodiscard]] Trace& trace() { return trace_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;  // null for non-cancellable events
+
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Trace trace_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace openmx::sim

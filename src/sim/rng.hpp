@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace openmx::sim {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+///
+/// Used for loss injection and workload generation.  Chosen over
+/// std::mt19937 because its output is identical across standard-library
+/// implementations, keeping experiment output stable everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace openmx::sim

@@ -1,0 +1,87 @@
+#include "sim/sim_thread.hpp"
+
+namespace openmx::sim {
+
+SimThread::SimThread(Engine& engine, std::string name,
+                     std::function<void()> body)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return turn_ == Turn::Thread; });
+    }
+    try {
+      if (!aborting_) body_();
+    } catch (const SimAborted&) {
+      // Clean teardown of a stuck process.
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+    std::unique_lock lock(mutex_);
+    finished_ = true;
+    turn_ = Turn::Engine;
+    cv_.notify_all();
+  });
+}
+
+SimThread::~SimThread() {
+  if (thread_.joinable()) {
+    {
+      std::unique_lock lock(mutex_);
+      aborting_ = true;
+      if (!finished_) {
+        turn_ = Turn::Thread;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return finished_; });
+      }
+    }
+    thread_.join();
+  }
+}
+
+void SimThread::start() {
+  if (started_) throw std::logic_error("SimThread started twice: " + name_);
+  started_ = true;
+  engine_.schedule(0, [this] { resume(); });
+}
+
+void SimThread::resume() {
+  std::unique_lock lock(mutex_);
+  if (finished_) return;
+  turn_ = Turn::Thread;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::Engine; });
+}
+
+void SimThread::yield_to_engine() {
+  std::unique_lock lock(mutex_);
+  turn_ = Turn::Engine;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::Thread; });
+  if (aborting_) throw SimAborted{};
+}
+
+void SimThread::advance(Time dt) {
+  engine_.schedule(dt, [this] { resume(); });
+  yield_to_engine();
+}
+
+void SimThread::pause() {
+  if (pending_wake_) {
+    pending_wake_ = false;
+    return;
+  }
+  paused_ = true;
+  yield_to_engine();
+}
+
+void SimThread::wake(Time delay) {
+  if (!paused_) {
+    pending_wake_ = true;
+    return;
+  }
+  paused_ = false;
+  engine_.schedule(delay, [this] { resume(); });
+}
+
+}  // namespace openmx::sim

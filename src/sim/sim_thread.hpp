@@ -1,0 +1,131 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::sim {
+
+/// Thrown inside a SimThread body when the simulation is torn down while
+/// the thread is still blocked (e.g. a test that expects a deadlock).
+struct SimAborted : std::runtime_error {
+  SimAborted() : std::runtime_error("simulated process aborted") {}
+};
+
+/// A simulated process running on a real std::thread.
+///
+/// Exactly one entity executes at a time: either the engine's event loop or
+/// one SimThread.  Control is handed over with a mutex/condvar handshake, so
+/// process code can be written in the natural blocking style (`wait()` loops
+/// in the MX library, blocking MPI_Recv, ...) while the simulation stays
+/// fully deterministic — all wake-ups are routed through engine events and
+/// therefore ordered by (time, schedule sequence).
+///
+/// While a SimThread runs, it owns the simulation: it may call
+/// Engine::schedule and mutate any simulation state without synchronization.
+class SimThread {
+ public:
+  /// Creates a simulated process; `body` runs on its own OS thread once
+  /// start() has been called and the engine dispatches its first resume.
+  SimThread(Engine& engine, std::string name, std::function<void()> body);
+
+  /// Joins the underlying thread.  If the body never finished (stuck
+  /// blocked), it is aborted by throwing SimAborted into it.
+  ~SimThread();
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  /// Schedules the first execution of the body at the current virtual time.
+  /// Must be called from engine context.
+  void start();
+
+  /// --- Calls below are made from *inside* the thread body. ---
+
+  /// Consumes `dt` of virtual time, then continues.  Does not model core
+  /// occupancy; see cpu::Machine::thread_advance for the core-aware version.
+  void advance(Time dt);
+
+  /// Blocks until some engine-context code calls wake().  Spurious wake-ups
+  /// do not occur; one wake() releases one pause().
+  void pause();
+
+  /// --- Calls below are made from engine context (or another thread that
+  ///     currently owns the simulation). ---
+
+  /// Wakes a paused thread by scheduling its resume `delay` ns from now.
+  /// If the thread is not currently paused the wake is remembered and the
+  /// next pause() returns immediately (no lost-wake-up race).
+  void wake(Time delay = 0);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool failed() const { return static_cast<bool>(error_); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Rethrows any exception that escaped the body.
+  void rethrow_if_failed() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  enum class Turn { Engine, Thread };
+
+  void resume();           // engine side: run the thread until it yields
+  void yield_to_engine();  // thread side: hand control back
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void()> body_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::Engine;
+  bool started_ = false;
+  bool finished_ = false;
+  bool aborting_ = false;
+  bool pending_wake_ = false;
+  bool paused_ = false;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+/// A FIFO of paused SimThreads, used wherever the real stack would use a
+/// kernel wait queue (event rings, request completion).
+class WaitQueue {
+ public:
+  /// Registers the calling thread and pauses it.  Engine-context code calls
+  /// wake_one/wake_all to release waiters.
+  void sleep(SimThread& t) {
+    waiters_.push_back(&t);
+    t.pause();
+  }
+
+  void wake_one(Time delay = 0) {
+    if (waiters_.empty()) return;
+    SimThread* t = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    t->wake(delay);
+  }
+
+  void wake_all(Time delay = 0) {
+    auto ws = std::move(waiters_);
+    waiters_.clear();
+    for (SimThread* t : ws) t->wake(delay);
+  }
+
+  [[nodiscard]] bool empty() const { return waiters_.empty(); }
+  [[nodiscard]] std::size_t size() const { return waiters_.size(); }
+
+ private:
+  std::vector<SimThread*> waiters_;
+};
+
+}  // namespace openmx::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace openmx::sim {
+
+/// Running summary of a sample stream: count, sum, min, max, mean.
+class Summary {
+ public:
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  void reset() { *this = Summary{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named monotonically increasing counters (packets sent, retransmits,
+/// descriptors submitted, cache hits...).  Cheap enough to leave enabled.
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return values_;
+  }
+
+  void reset() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace openmx::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace openmx::sim {
+
+/// Virtual simulation time in nanoseconds.
+///
+/// All timing in the simulator is expressed as signed 64-bit nanosecond
+/// counts, which covers ~292 years of simulated time — far beyond any
+/// experiment in this repository.  Durations use the same type.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * 1000;
+inline constexpr Time kSecond = 1000 * 1000 * 1000;
+
+/// One binary kilo/mega/gibibyte, used throughout for buffer sizes.
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * 1024;
+inline constexpr std::size_t GiB = 1024ULL * 1024 * 1024;
+
+/// Converts a transfer of `bytes` at `bytes_per_second` into a duration.
+///
+/// Rounds to the nearest nanosecond; a transfer never takes zero time
+/// unless it is zero bytes, so callers can rely on strict event ordering
+/// along a serialized resource.
+inline Time duration_for_bytes(std::size_t bytes, double bytes_per_second) {
+  if (bytes == 0) return 0;
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_second;
+  const Time t = static_cast<Time>(std::llround(ns));
+  return t > 0 ? t : 1;
+}
+
+/// Converts a duration spent moving `bytes` into a throughput in MiB/s,
+/// the unit used by every figure in the paper.
+inline double mib_per_second(std::size_t bytes, Time elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(MiB) /
+         (static_cast<double>(elapsed) / 1e9);
+}
+
+inline double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+inline double to_micros(Time t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace openmx::sim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace openmx::sim {
+
+/// One record in the event trace.
+struct TraceRecord {
+  Time when = 0;
+  int node = -1;
+  std::string category;  // "wire", "bh", "ioat", "lib", ...
+  std::string message;
+};
+
+/// A bounded in-memory trace of simulation events.
+///
+/// Disabled by default (a disabled trace is a branch on a bool); tests
+/// and debugging sessions enable it to assert on protocol timelines or
+/// dump them.  The buffer is a ring: when full, the oldest records are
+/// dropped, so long experiments keep their tail.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Restrict recording to one category prefix (empty = everything).
+  void set_filter(std::string prefix) { filter_ = std::move(prefix); }
+
+  void record(Time when, int node, std::string category,
+              std::string message) {
+    if (!enabled_) return;
+    if (!filter_.empty() &&
+        category.compare(0, filter_.size(), filter_) != 0)
+      return;
+    if (records_.size() == capacity_) {
+      records_[head_] = TraceRecord{when, node, std::move(category),
+                                    std::move(message)};
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+      return;
+    }
+    records_.push_back(
+        TraceRecord{when, node, std::move(category), std::move(message)});
+  }
+
+  /// Records in chronological order.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      out.push_back(records_[(head_ + i) % records_.size()]);
+    return out;
+  }
+
+  /// Number of records matching a category prefix.
+  [[nodiscard]] std::size_t count(const std::string& prefix) const {
+    std::size_t n = 0;
+    for (const auto& r : records_)
+      if (r.category.compare(0, prefix.size(), prefix) == 0) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Human-readable dump (for examples and debugging).
+  void dump(std::FILE* out = stdout, std::size_t max_lines = 200) const {
+    const auto recs = snapshot();
+    const std::size_t start =
+        recs.size() > max_lines ? recs.size() - max_lines : 0;
+    for (std::size_t i = start; i < recs.size(); ++i)
+      std::fprintf(out, "%12.3f us  n%d  %-10s %s\n",
+                   to_micros(recs[i].when), recs[i].node,
+                   recs[i].category.c_str(), recs[i].message.c_str());
+  }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::string filter_;
+  std::vector<TraceRecord> records_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace openmx::sim

@@ -1,0 +1,104 @@
+// Unit tests for the machine topology, per-core serialized execution and
+// busy-time accounting.
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace sim = openmx::sim;
+namespace cpu = openmx::cpu;
+
+TEST(Topology, ClovertownLayout) {
+  // 8 cores: sockets {0..3},{4..7}; subchips pair up neighbours.
+  EXPECT_EQ(cpu::Machine::kNumCores, 8);
+  EXPECT_EQ(cpu::Machine::socket_of(0), 0);
+  EXPECT_EQ(cpu::Machine::socket_of(3), 0);
+  EXPECT_EQ(cpu::Machine::socket_of(4), 1);
+  EXPECT_EQ(cpu::Machine::subchip_of(0), 0);
+  EXPECT_EQ(cpu::Machine::subchip_of(1), 0);
+  EXPECT_EQ(cpu::Machine::subchip_of(2), 1);
+  EXPECT_TRUE(cpu::Machine::share_l2(0, 1));
+  EXPECT_FALSE(cpu::Machine::share_l2(1, 2));
+  EXPECT_FALSE(cpu::Machine::share_l2(0, 4));
+}
+
+TEST(Machine, SerializesWorkOnOneCore) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  std::vector<sim::Time> done_at;
+  for (int i = 0; i < 3; ++i)
+    m.submit_fixed(0, cpu::Cat::BottomHalf, 100,
+                   [&] { done_at.push_back(e.now()); });
+  e.run();
+  EXPECT_EQ(done_at, (std::vector<sim::Time>{100, 200, 300}));
+  EXPECT_EQ(m.busy(0, cpu::Cat::BottomHalf), 300);
+}
+
+TEST(Machine, DifferentCoresRunInParallel) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  std::vector<sim::Time> done_at;
+  m.submit_fixed(0, cpu::Cat::App, 100, [&] { done_at.push_back(e.now()); });
+  m.submit_fixed(1, cpu::Cat::App, 100, [&] { done_at.push_back(e.now()); });
+  e.run();
+  EXPECT_EQ(done_at, (std::vector<sim::Time>{100, 100}));
+}
+
+TEST(Machine, AccountsPerCategory) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  m.submit_fixed(2, cpu::Cat::UserLib, 50);
+  m.submit_fixed(2, cpu::Cat::DriverSyscall, 70);
+  m.submit_fixed(2, cpu::Cat::BottomHalf, 90);
+  e.run();
+  EXPECT_EQ(m.busy(2, cpu::Cat::UserLib), 50);
+  EXPECT_EQ(m.busy(2, cpu::Cat::DriverSyscall), 70);
+  EXPECT_EQ(m.busy(2, cpu::Cat::BottomHalf), 90);
+  EXPECT_EQ(m.busy_total(2), 210);
+  m.reset_accounting();
+  EXPECT_EQ(m.busy_total(2), 0);
+}
+
+TEST(Machine, WorkComputedAtStartEffectsAtEnd) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  sim::Time work_ran_at = -1, done_ran_at = -1;
+  m.submit(0, cpu::Cat::App, [&]() -> cpu::TaskResult {
+    work_ran_at = e.now();
+    return {250, [&] { done_ran_at = e.now(); }};
+  });
+  e.run();
+  EXPECT_EQ(work_ran_at, 0);
+  EXPECT_EQ(done_ran_at, 250);
+}
+
+TEST(Machine, ThreadAdvanceQueuesBehindCoreWork) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  m.submit_fixed(0, cpu::Cat::BottomHalf, 1000);
+  sim::Time resumed_at = -1;
+  sim::SimThread t(e, "app", [&] {
+    m.thread_advance(t, 0, 10, cpu::Cat::App);
+    resumed_at = e.now();
+  });
+  t.start();
+  e.run();
+  // The BH work occupies the core for the first 1000 ns.
+  EXPECT_EQ(resumed_at, 1010);
+}
+
+TEST(Machine, BadCoreThrows) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  EXPECT_THROW(m.submit_fixed(8, cpu::Cat::App, 1), std::out_of_range);
+  EXPECT_THROW((void)m.busy(-1, cpu::Cat::App), std::out_of_range);
+}
+
+TEST(Machine, BusyAllCoresSums) {
+  sim::Engine e;
+  cpu::Machine m(e);
+  m.submit_fixed(0, cpu::Cat::BottomHalf, 10);
+  m.submit_fixed(5, cpu::Cat::BottomHalf, 20);
+  e.run();
+  EXPECT_EQ(m.busy_all_cores(cpu::Cat::BottomHalf), 30);
+}

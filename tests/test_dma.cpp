@@ -1,0 +1,151 @@
+// Unit tests for the I/OAT DMA engine model: in-order completion, real
+// data movement at the virtual completion instant, chunking costs and the
+// Section IV-A calibration points.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dma/ioat.hpp"
+#include "sim/engine.hpp"
+
+namespace sim = openmx::sim;
+namespace dma = openmx::dma;
+
+namespace {
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), std::uint8_t{1});
+  return v;
+}
+}  // namespace
+
+TEST(Ioat, SubmissionCostIs350nsPerDescriptor) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  EXPECT_EQ(io.submit_cost(1), 350);
+  EXPECT_EQ(io.submit_cost(4), 1400);
+}
+
+TEST(Ioat, DataMovesExactlyAtCompletionTime) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  auto src = pattern(4096);
+  std::vector<std::uint8_t> dst(4096, 0);
+  const auto cookie = io.submit(0, src.data(), dst.data(), src.size());
+  const sim::Time done = io.cookie_done_time(0, cookie);
+  EXPECT_GT(done, 0);
+  e.run_until(done - 1);
+  EXPECT_EQ(dst[0], 0) << "copy must not be visible before completion";
+  e.run();
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(io.completed(0), cookie);
+}
+
+TEST(Ioat, CompletionsAreInOrderPerChannel) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  auto src = pattern(1024);
+  std::vector<std::uint8_t> d1(1024), d2(1024);
+  const auto c1 = io.submit(0, src.data(), d1.data(), 1024);
+  const auto c2 = io.submit(0, src.data(), d2.data(), 1024);
+  EXPECT_LT(c1, c2);
+  EXPECT_LE(io.cookie_done_time(0, c1), io.cookie_done_time(0, c2));
+  e.run();
+  EXPECT_EQ(io.completed(0), c2);
+}
+
+TEST(Ioat, ChannelsAreIndependent) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  auto src = pattern(1 * sim::MiB);
+  std::vector<std::uint8_t> d1(src.size()), d2(4096);
+  io.submit(0, src.data(), d1.data(), src.size());  // long copy on 0
+  const auto c2 = io.submit(1, src.data(), d2.data(), 4096);
+  // Channel 1's small copy does not queue behind channel 0's megabyte.
+  EXPECT_LT(io.cookie_done_time(1, c2), io.drain_time(0));
+  e.run();
+}
+
+TEST(Ioat, ChunkedSubmissionCountsDescriptors) {
+  EXPECT_EQ(dma::IoatEngine::chunk_count(4096, 4096), 1u);
+  EXPECT_EQ(dma::IoatEngine::chunk_count(4097, 4096), 2u);
+  EXPECT_EQ(dma::IoatEngine::chunk_count(1, 4096), 1u);
+  EXPECT_EQ(dma::IoatEngine::chunk_count(0, 4096), 0u);
+  EXPECT_EQ(dma::IoatEngine::chunk_count(16384, 0), 1u);  // 0 = no chunking
+}
+
+TEST(Ioat, ChunkedCopyMovesAllData) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  auto src = pattern(40000);
+  std::vector<std::uint8_t> dst(40000, 0);
+  io.submit_chunked(2, src.data(), dst.data(), src.size(), 4096);
+  e.run();
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Ioat, PageChunksReachAbout2400MiBs) {
+  // Figure 7: with 4 kB chunks the engine sustains ~2.4 GiB/s.
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  const std::size_t total = 4 * sim::MiB;
+  std::vector<std::uint8_t> src(total), dst(total);
+  io.submit_chunked(0, src.data(), dst.data(), total, 4096);
+  const sim::Time t = e.run();
+  const double gib_s =
+      static_cast<double>(total) * 1e9 / static_cast<double>(t) /
+      static_cast<double>(sim::GiB);
+  EXPECT_NEAR(gib_s, 2.35, 0.25);
+}
+
+TEST(Ioat, TinyChunksCollapseThroughput) {
+  // Figure 7: 256 B chunks make offloaded copies slower than memcpy.
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  const std::size_t total = sim::MiB;
+  std::vector<std::uint8_t> src(total), dst(total);
+  io.submit_chunked(0, src.data(), dst.data(), total, 256);
+  const sim::Time t = e.run();
+  const double gib_s =
+      static_cast<double>(total) * 1e9 / static_cast<double>(t) /
+      static_cast<double>(sim::GiB);
+  EXPECT_LT(gib_s, 1.0);
+}
+
+TEST(Ioat, CookieDoneTimeOfCompletedIsNow) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  std::vector<std::uint8_t> b(64);
+  const auto c = io.submit(0, b.data(), b.data(), 64);
+  e.run();
+  EXPECT_EQ(io.cookie_done_time(0, c), e.now());
+  EXPECT_TRUE(io.idle(0));
+}
+
+TEST(Ioat, UnknownCookieThrows) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  EXPECT_THROW((void)io.cookie_done_time(0, 42), std::logic_error);
+  EXPECT_THROW(io.submit(7, nullptr, nullptr, 0), std::out_of_range);
+}
+
+TEST(Ioat, PickChannelRoundRobins) {
+  sim::Engine e;
+  dma::IoatEngine io(e);
+  EXPECT_EQ(io.pick_channel(), 0);
+  EXPECT_EQ(io.pick_channel(), 1);
+  EXPECT_EQ(io.pick_channel(), 2);
+  EXPECT_EQ(io.pick_channel(), 3);
+  EXPECT_EQ(io.pick_channel(), 0);
+}
+
+TEST(Ioat, BreakEvenNearPaperValue) {
+  // Section IV-A: ~600 bytes can be memcpy'd (uncached, 1.6 GiB/s) in the
+  // 350 ns it takes to submit one descriptor.
+  dma::IoatParams p;
+  const double memcpy_bw = 1.6 * static_cast<double>(sim::GiB);
+  const double bytes_in_submit =
+      static_cast<double>(p.submit_ns) * memcpy_bw / 1e9;
+  EXPECT_NEAR(bytes_in_submit, 600.0, 60.0);
+}

@@ -1,0 +1,132 @@
+// Tests of the IMB benchmark kernels: every kernel runs collectively,
+// returns a positive, monotone-ish time, respects the t_max convention,
+// and the I/OAT configurations order as the paper's Figures 11/12 say.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cluster.hpp"
+#include "imb/imb.hpp"
+#include "mpi/world.hpp"
+
+namespace sim = openmx::sim;
+namespace core = openmx::core;
+namespace mpi = openmx::mpi;
+namespace imb = openmx::imb;
+
+namespace {
+
+sim::Time imb_time(const core::OmxConfig& cfg, imb::Test test,
+                   std::size_t bytes, int nnodes, int ppn, int reps) {
+  core::Cluster cluster;
+  cluster.add_nodes(nnodes, cfg);
+  mpi::World world(cluster, mpi::placements(nnodes, ppn));
+  sim::Time out = 0;
+  std::vector<sim::Time> per_rank(
+      static_cast<std::size_t>(nnodes * ppn), 0);
+  world.run([&](mpi::Comm& c) {
+    const sim::Time t = imb::run_test(c, test, bytes, reps);
+    per_rank[static_cast<std::size_t>(c.rank())] = t;
+    if (c.rank() == 0) out = t;
+  });
+  // t_max convention: every rank reports the same aggregated number.
+  for (sim::Time t : per_rank) EXPECT_EQ(t, out);
+  return out;
+}
+
+struct KernelCase {
+  imb::Test test;
+  int nnodes;
+  int ppn;
+};
+
+class ImbKernels : public ::testing::TestWithParam<KernelCase> {};
+
+}  // namespace
+
+TEST_P(ImbKernels, RunsAndScalesWithSize) {
+  const KernelCase& k = GetParam();
+  const sim::Time t_small = imb_time({}, k.test, 1024, k.nnodes, k.ppn, 4);
+  const sim::Time t_big =
+      imb_time({}, k.test, 256 * sim::KiB, k.nnodes, k.ppn, 4);
+  EXPECT_GT(t_small, 0);
+  // 256x the bytes must take at least 3x the time for any data-moving
+  // kernel (very loose monotonicity bound).
+  EXPECT_GT(t_big, 3 * t_small);
+}
+
+TEST_P(ImbKernels, IoatNeverSlowerAtLargeSizes) {
+  const KernelCase& k = GetParam();
+  core::OmxConfig ioat;
+  ioat.ioat_large = true;
+  ioat.ioat_shm = true;
+  const sim::Time t_plain =
+      imb_time({}, k.test, sim::MiB, k.nnodes, k.ppn, 3);
+  const sim::Time t_ioat =
+      imb_time(ioat, k.test, sim::MiB, k.nnodes, k.ppn, 3);
+  EXPECT_LE(t_ioat, t_plain + t_plain / 20);  // allow 5 % noise
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels2n1p, ImbKernels,
+    ::testing::Values(KernelCase{imb::Test::PingPong, 2, 1},
+                      KernelCase{imb::Test::PingPing, 2, 1},
+                      KernelCase{imb::Test::SendRecv, 2, 1},
+                      KernelCase{imb::Test::Exchange, 2, 1},
+                      KernelCase{imb::Test::Allreduce, 2, 1},
+                      KernelCase{imb::Test::Reduce, 2, 1},
+                      KernelCase{imb::Test::ReduceScatter, 2, 1},
+                      KernelCase{imb::Test::Allgather, 2, 1},
+                      KernelCase{imb::Test::Allgatherv, 2, 1},
+                      KernelCase{imb::Test::Alltoall, 2, 1},
+                      KernelCase{imb::Test::Bcast, 2, 1}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      std::string n = imb::test_name(info.param.test);
+      n.erase(std::remove(n.begin(), n.end(), '.'), n.end());
+      return n + std::string("_") + std::to_string(info.param.nnodes) + "n";
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels2n2p, ImbKernels,
+    ::testing::Values(KernelCase{imb::Test::SendRecv, 2, 2},
+                      KernelCase{imb::Test::Exchange, 2, 2},
+                      KernelCase{imb::Test::Allreduce, 2, 2},
+                      KernelCase{imb::Test::ReduceScatter, 2, 2},
+                      KernelCase{imb::Test::Allgather, 2, 2},
+                      KernelCase{imb::Test::Alltoall, 2, 2},
+                      KernelCase{imb::Test::Bcast, 2, 2}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      std::string n = imb::test_name(info.param.test);
+      n.erase(std::remove(n.begin(), n.end(), '.'), n.end());
+      return n + std::string("_2n2p");
+    });
+
+TEST(ImbSemantics, PingPongMatchesEndpointLevelPingPong) {
+  // The MPI-level PingPong should cost the endpoint-level ping-pong plus
+  // small library overhead: same order of magnitude, never faster.
+  const sim::Time t_mpi = imb_time({}, imb::Test::PingPong, 4096, 2, 1, 10);
+  EXPECT_GT(t_mpi, 0);
+  EXPECT_LT(sim::to_micros(t_mpi), 100.0);  // sanity: a few us RTT
+}
+
+TEST(ImbSemantics, NativeMxFasterThanOpenMx) {
+  core::OmxConfig mx;
+  mx.native_mx = true;
+  for (imb::Test t : {imb::Test::PingPong, imb::Test::Allreduce}) {
+    EXPECT_LT(imb_time(mx, t, 128 * sim::KiB, 2, 1, 4),
+              imb_time({}, t, 128 * sim::KiB, 2, 1, 4))
+        << imb::test_name(t);
+  }
+}
+
+TEST(ImbSemantics, TwoPpnUsesLocalPath) {
+  // With 2 ppn, intra-node pairs exist; the shm counters must move.
+  core::Cluster cluster;
+  cluster.add_nodes(2, {});
+  mpi::World world(cluster, mpi::placements(2, 2));
+  world.run([&](mpi::Comm& c) {
+    imb::run_test(c, imb::Test::Alltoall, 64 * sim::KiB, 2);
+  });
+  EXPECT_GT(cluster.node(0).driver().counters().get("driver.local_sent"),
+            0u);
+}

@@ -1,0 +1,143 @@
+// Unit tests for the cache model, memcpy cost model, pinning model and
+// registration cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache_model.hpp"
+#include "mem/memcpy_model.hpp"
+#include "mem/pinning.hpp"
+#include "sim/time.hpp"
+
+namespace sim = openmx::sim;
+namespace mem = openmx::mem;
+
+TEST(CacheModel, TouchMakesResident) {
+  mem::CacheModel c(64 * sim::KiB);
+  std::vector<std::uint8_t> buf(16 * sim::KiB);
+  EXPECT_DOUBLE_EQ(c.hit_fraction(buf.data(), buf.size()), 0.0);
+  c.touch(buf.data(), buf.size());
+  EXPECT_DOUBLE_EQ(c.hit_fraction(buf.data(), buf.size()), 1.0);
+}
+
+TEST(CacheModel, LruEvictsWhenOverCapacity) {
+  mem::CacheModel c(16 * sim::KiB);  // 4 pages
+  std::vector<std::uint8_t> a(16 * sim::KiB), b(16 * sim::KiB);
+  c.touch(a.data(), a.size());
+  EXPECT_GT(c.hit_fraction(a.data(), a.size()), 0.5);
+  c.touch(b.data(), b.size());  // evicts a
+  EXPECT_GT(c.hit_fraction(b.data(), b.size()), 0.5);
+  EXPECT_LT(c.hit_fraction(a.data(), a.size()), 0.5);
+}
+
+TEST(CacheModel, BufferLargerThanCacheOnlyTailResident) {
+  mem::CacheModel c(16 * sim::KiB);
+  std::vector<std::uint8_t> big(64 * sim::KiB);
+  c.touch(big.data(), big.size());
+  // Only 4 of 16 pages fit.
+  EXPECT_NEAR(c.hit_fraction(big.data(), big.size()), 4.0 / 17.0, 0.1);
+}
+
+TEST(CacheModel, FlushDropsEverything) {
+  mem::CacheModel c(64 * sim::KiB);
+  std::vector<std::uint8_t> buf(8 * sim::KiB);
+  c.touch(buf.data(), buf.size());
+  c.flush();
+  EXPECT_EQ(c.resident_pages(), 0u);
+  EXPECT_DOUBLE_EQ(c.hit_fraction(buf.data(), buf.size()), 0.0);
+}
+
+TEST(CacheModel, RepeatedTouchRefreshesLru) {
+  mem::CacheModel c(8 * sim::KiB);  // 2 pages
+  // Page-aligned slices of one region, so each buffer is exactly 1 page.
+  static std::uint8_t region[4 * 4096] __attribute__((aligned(4096)));
+  std::uint8_t* a = region;
+  std::uint8_t* b = region + 4096;
+  std::uint8_t* d = region + 2 * 4096;
+  c.touch(a, 4096);
+  c.touch(b, 4096);
+  c.touch(a, 4096);  // refresh a; b is now LRU
+  c.touch(d, 4096);  // evicts b
+  EXPECT_DOUBLE_EQ(c.hit_fraction(a, 4096), 1.0);
+  EXPECT_DOUBLE_EQ(c.hit_fraction(b, 4096), 0.0);
+}
+
+TEST(MemcpyModel, UncachedRateMatchesPaper) {
+  // Section IV-A: "the processor copy rate is about 1.6 GiB/s".
+  mem::MemcpyModel m;
+  const sim::Time t = m.duration(sim::MiB, 4096, 0.0, false);
+  const double gib_s = static_cast<double>(sim::MiB) * 1e9 /
+                       static_cast<double>(t) / static_cast<double>(sim::GiB);
+  EXPECT_NEAR(gib_s, 1.6, 0.1);
+}
+
+TEST(MemcpyModel, CachedIsMuchFaster) {
+  // Section IV-A: "if the data fits in the cache, the memcpy performance
+  // may reach up to 12 GiB/s".
+  mem::MemcpyModel m;
+  const sim::Time cold = m.duration(64 * sim::KiB, 4096, 0.0, false);
+  const sim::Time hot = m.duration(64 * sim::KiB, 4096, 1.0, false);
+  EXPECT_GT(cold, 6 * hot);
+}
+
+TEST(MemcpyModel, ChunkingBarelyMattersForMemcpy) {
+  // Figure 7: splitting a stream into 256 B chunks costs memcpy little.
+  mem::MemcpyModel m;
+  const sim::Time pages = m.duration(sim::MiB, 4096, 0.0, false);
+  const sim::Time tiny = m.duration(sim::MiB, 256, 0.0, false);
+  EXPECT_LT(static_cast<double>(tiny) / static_cast<double>(pages), 1.25);
+}
+
+TEST(MemcpyModel, ContentionSlowsUncachedCopies) {
+  mem::MemcpyModel m;
+  EXPECT_GT(m.duration(sim::MiB, 4096, 0.0, true),
+            m.duration(sim::MiB, 4096, 0.0, false));
+}
+
+TEST(MemcpyModel, ZeroBytesZeroTime) {
+  mem::MemcpyModel m;
+  EXPECT_EQ(m.duration(0, 4096, 0.0, false), 0);
+}
+
+TEST(MemBus, TracksNicDmaWindow) {
+  mem::MemBus bus;
+  EXPECT_FALSE(bus.nic_dma_active(0));
+  bus.note_nic_dma_until(100);
+  EXPECT_TRUE(bus.nic_dma_active(50));
+  EXPECT_FALSE(bus.nic_dma_active(100));
+  bus.note_nic_dma_until(50);  // must not shrink the window
+  EXPECT_TRUE(bus.nic_dma_active(99));
+}
+
+TEST(PinModel, CostScalesWithPages) {
+  mem::PinModel p;
+  EXPECT_EQ(p.cost(4096), p.base_ns + p.per_page_ns);
+  EXPECT_EQ(p.cost(8192), p.base_ns + 2 * p.per_page_ns);
+  EXPECT_EQ(p.cost(1), p.base_ns + p.per_page_ns);  // partial page pins
+}
+
+TEST(RegCache, HitSkipsPinning) {
+  mem::RegCache rc(true);
+  int dummy = 0;
+  EXPECT_FALSE(rc.lookup_or_insert(&dummy, 64));  // miss
+  EXPECT_TRUE(rc.lookup_or_insert(&dummy, 64));   // hit
+  EXPECT_FALSE(rc.lookup_or_insert(&dummy, 128)); // different length: miss
+  EXPECT_EQ(rc.counters().get("regcache.hit"), 1u);
+  EXPECT_EQ(rc.counters().get("regcache.miss"), 2u);
+}
+
+TEST(RegCache, DisabledAlwaysMisses) {
+  mem::RegCache rc(false);
+  int dummy = 0;
+  EXPECT_FALSE(rc.lookup_or_insert(&dummy, 64));
+  EXPECT_FALSE(rc.lookup_or_insert(&dummy, 64));
+  EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST(RegCache, InvalidateAllForgets) {
+  mem::RegCache rc(true);
+  int dummy = 0;
+  rc.lookup_or_insert(&dummy, 64);
+  rc.invalidate_all();
+  EXPECT_FALSE(rc.lookup_or_insert(&dummy, 64));
+}

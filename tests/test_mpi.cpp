@@ -1,0 +1,333 @@
+// Functional tests of the mini-MPI layer: point-to-point semantics and
+// the correctness of every collective used by the IMB suite, on 2 and 4
+// ranks, over the network and mixed network/shared-memory placements.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+namespace sim = openmx::sim;
+namespace core = openmx::core;
+namespace mpi = openmx::mpi;
+
+namespace {
+
+/// Runs `body` as an SPMD program on `nnodes` x `ppn` ranks.
+void spmd(int nnodes, int ppn, core::OmxConfig cfg,
+          std::function<void(mpi::Comm&)> body) {
+  core::Cluster cluster;
+  cluster.add_nodes(nnodes, cfg);
+  mpi::World world(cluster, mpi::placements(nnodes, ppn));
+  world.run(std::move(body));
+}
+
+struct RankConfig {
+  int nnodes;
+  int ppn;
+  bool ioat;
+};
+
+class MpiCollectives : public ::testing::TestWithParam<RankConfig> {
+ protected:
+  core::OmxConfig config() const {
+    core::OmxConfig c;
+    c.ioat_large = GetParam().ioat;
+    c.ioat_shm = GetParam().ioat;
+    return c;
+  }
+  int nnodes() const { return GetParam().nnodes; }
+  int ppn() const { return GetParam().ppn; }
+  int nranks() const { return nnodes() * ppn(); }
+};
+
+}  // namespace
+
+TEST(MpiP2p, SendRecvRoundtrip) {
+  std::vector<int> got(4, -1);
+  spmd(2, 1, {}, [&](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      const int v = 42;
+      c.send(&v, sizeof v, 1, 9);
+      int back = 0;
+      c.recv(&back, sizeof back, 1, 10);
+      got[0] = back;
+    } else {
+      int v = 0;
+      c.recv(&v, sizeof v, 0, 9);
+      const int reply = v * 2;
+      c.send(&reply, sizeof reply, 0, 10);
+      got[1] = v;
+    }
+  });
+  EXPECT_EQ(got[0], 84);
+  EXPECT_EQ(got[1], 42);
+}
+
+TEST(MpiP2p, TagsDisambiguate) {
+  std::vector<int> order;
+  spmd(2, 1, {}, [&](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      const int a = 1, b = 2;
+      c.send(&a, sizeof a, 1, 100);
+      c.send(&b, sizeof b, 1, 200);
+    } else {
+      int x = 0;
+      c.recv(&x, sizeof x, 0, 200);  // receive the *second* tag first
+      order.push_back(x);
+      c.recv(&x, sizeof x, 0, 100);
+      order.push_back(x);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(MpiP2p, NonblockingOverlap) {
+  bool ok = false;
+  spmd(2, 1, {}, [&](mpi::Comm& c) {
+    std::vector<std::uint8_t> buf(64 * 1024, static_cast<std::uint8_t>(7));
+    if (c.rank() == 0) {
+      core::Request* s = c.isend(buf.data(), buf.size(), 1, 1);
+      c.process().compute(10 * sim::kMicrosecond);
+      c.wait(s);
+    } else {
+      std::vector<std::uint8_t> r(buf.size());
+      core::Request* q = c.irecv(r.data(), r.size(), 0, 1);
+      c.wait(q);
+      ok = r == buf;
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(MpiCollectives, BarrierSynchronizes) {
+  std::vector<sim::Time> after(static_cast<std::size_t>(nranks()));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    // Stagger the ranks, then barrier: everyone leaves no earlier than
+    // the slowest entrant.
+    c.process().compute(c.rank() * 10 * sim::kMicrosecond);
+    c.barrier();
+    after[static_cast<std::size_t>(c.rank())] = c.now();
+  });
+  const sim::Time slowest = (nranks() - 1) * 10 * sim::kMicrosecond;
+  for (auto t : after) EXPECT_GE(t, slowest);
+}
+
+TEST_P(MpiCollectives, BcastDeliversFromEveryRoot) {
+  const int p = nranks();
+  for (int root = 0; root < p; ++root) {
+    std::vector<std::vector<std::uint8_t>> out(
+        static_cast<std::size_t>(p));
+    spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+      std::vector<std::uint8_t> buf(40000, 0);
+      if (c.rank() == root)
+        for (std::size_t i = 0; i < buf.size(); ++i)
+          buf[i] = static_cast<std::uint8_t>(i * 13 + root);
+      c.bcast(buf.data(), buf.size(), root);
+      out[static_cast<std::size_t>(c.rank())] = buf;
+    });
+    for (int r = 0; r < p; ++r)
+      for (std::size_t i = 0; i < out[static_cast<std::size_t>(r)].size();
+           i += 997)
+        EXPECT_EQ(out[static_cast<std::size_t>(r)][i],
+                  static_cast<std::uint8_t>(i * 13 + root))
+            << "root=" << root << " rank=" << r;
+  }
+}
+
+TEST_P(MpiCollectives, AllreduceSums) {
+  const int p = nranks();
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(p));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<double> v(1000);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<double>(c.rank() + 1) * static_cast<double>(i);
+    c.allreduce(v.data(), v.size());
+    out[static_cast<std::size_t>(c.rank())] = v;
+  });
+  const double rank_sum = p * (p + 1) / 2.0;
+  for (int r = 0; r < p; ++r)
+    for (std::size_t i = 0; i < 1000; i += 97)
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(r)][i],
+                       rank_sum * static_cast<double>(i));
+}
+
+TEST_P(MpiCollectives, ReduceSumsAtRoot) {
+  const int p = nranks();
+  std::vector<double> at_root;
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<double> v(512, static_cast<double>(c.rank() + 1));
+    c.reduce(v.data(), v.size(), 0);
+    if (c.rank() == 0) at_root = v;
+  });
+  const double expect = p * (p + 1) / 2.0;
+  for (double x : at_root) EXPECT_DOUBLE_EQ(x, expect);
+}
+
+TEST_P(MpiCollectives, ReduceScatterGivesEachRankItsBlock) {
+  const int p = nranks();
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(p));
+  const std::size_t per = 128;
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<double> v(per * static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<double>(i);  // same on every rank
+    c.reduce_scatter(v.data(), per);
+    out[static_cast<std::size_t>(c.rank())].assign(v.begin(),
+                                                   v.begin() + per);
+  });
+  for (int r = 0; r < p; ++r)
+    for (std::size_t i = 0; i < per; i += 31)
+      EXPECT_DOUBLE_EQ(
+          out[static_cast<std::size_t>(r)][i],
+          static_cast<double>(p) *
+              static_cast<double>(static_cast<std::size_t>(r) * per + i));
+}
+
+TEST_P(MpiCollectives, AllgatherCollectsInRankOrder) {
+  const int p = nranks();
+  const std::size_t n = 5000;
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(p));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<std::uint8_t> mine(n, static_cast<std::uint8_t>(c.rank() + 1));
+    std::vector<std::uint8_t> all(n * static_cast<std::size_t>(p));
+    c.allgather(mine.data(), n, all.data());
+    out[static_cast<std::size_t>(c.rank())] = all;
+  });
+  for (int r = 0; r < p; ++r)
+    for (int blk = 0; blk < p; ++blk)
+      EXPECT_EQ(out[static_cast<std::size_t>(r)]
+                   [static_cast<std::size_t>(blk) * n + n / 2],
+                static_cast<std::uint8_t>(blk + 1));
+}
+
+TEST_P(MpiCollectives, AllgathervVariableSizes) {
+  const int p = nranks();
+  std::vector<std::size_t> lens;
+  for (int r = 0; r < p; ++r)
+    lens.push_back(1000 * static_cast<std::size_t>(r + 1));
+  const std::size_t total = std::accumulate(lens.begin(), lens.end(),
+                                            std::size_t{0});
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(p));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    const std::size_t mine = lens[static_cast<std::size_t>(c.rank())];
+    std::vector<std::uint8_t> sbuf(mine,
+                                   static_cast<std::uint8_t>(c.rank() + 1));
+    std::vector<std::uint8_t> all(total);
+    c.allgatherv(sbuf.data(), mine, lens, all.data());
+    out[static_cast<std::size_t>(c.rank())] = all;
+  });
+  for (int r = 0; r < p; ++r) {
+    std::size_t off = 0;
+    for (int blk = 0; blk < p; ++blk) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r)][off],
+                static_cast<std::uint8_t>(blk + 1));
+      off += lens[static_cast<std::size_t>(blk)];
+    }
+  }
+}
+
+TEST_P(MpiCollectives, AlltoallPermutesBlocks) {
+  const int p = nranks();
+  const std::size_t n = 3000;
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(p));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<std::uint8_t> sbuf(n * static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst)
+      std::fill_n(sbuf.begin() + static_cast<std::ptrdiff_t>(n) * dst, n,
+                  static_cast<std::uint8_t>(10 * c.rank() + dst));
+    std::vector<std::uint8_t> rbuf(n * static_cast<std::size_t>(p));
+    c.alltoall(sbuf.data(), n, rbuf.data());
+    out[static_cast<std::size_t>(c.rank())] = rbuf;
+  });
+  for (int r = 0; r < p; ++r)
+    for (int src = 0; src < p; ++src)
+      EXPECT_EQ(out[static_cast<std::size_t>(r)]
+                   [static_cast<std::size_t>(src) * n],
+                static_cast<std::uint8_t>(10 * src + r));
+}
+
+TEST_P(MpiCollectives, AlltoallvVariableBlocks) {
+  const int p = nranks();
+  // Rank r sends (r+1)*100 bytes to everyone.
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(p));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    const std::size_t mine = 100 * static_cast<std::size_t>(c.rank() + 1);
+    std::vector<std::size_t> slens(static_cast<std::size_t>(p), mine);
+    std::vector<std::size_t> rlens;
+    for (int s = 0; s < p; ++s)
+      rlens.push_back(100 * static_cast<std::size_t>(s + 1));
+    std::vector<std::uint8_t> sbuf(mine * static_cast<std::size_t>(p),
+                                   static_cast<std::uint8_t>(c.rank() + 1));
+    std::vector<std::uint8_t> rbuf(
+        std::accumulate(rlens.begin(), rlens.end(), std::size_t{0}));
+    c.alltoallv(sbuf.data(), slens, rbuf.data(), rlens);
+    out[static_cast<std::size_t>(c.rank())] = rbuf;
+  });
+  for (int r = 0; r < p; ++r) {
+    std::size_t off = 0;
+    for (int src = 0; src < p; ++src) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r)][off],
+                static_cast<std::uint8_t>(src + 1));
+      off += 100 * static_cast<std::size_t>(src + 1);
+    }
+  }
+}
+
+TEST_P(MpiCollectives, LargeAllreduceUsesRendezvousPath) {
+  const int p = nranks();
+  std::vector<double> got;
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<double> v(64 * 1024, 1.0);  // 512 kB > eager threshold
+    c.allreduce(v.data(), v.size());
+    if (c.rank() == 0) got = v;
+  });
+  for (std::size_t i = 0; i < got.size(); i += 4096)
+    EXPECT_DOUBLE_EQ(got[i], static_cast<double>(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, MpiCollectives,
+    ::testing::Values(RankConfig{2, 1, false}, RankConfig{2, 1, true},
+                      RankConfig{2, 2, false}, RankConfig{2, 2, true},
+                      RankConfig{1, 4, false}, RankConfig{4, 1, false}),
+    [](const ::testing::TestParamInfo<RankConfig>& info) {
+      return std::to_string(info.param.nnodes) + "n" +
+             std::to_string(info.param.ppn) + "p" +
+             (info.param.ioat ? "_ioat" : "_memcpy");
+    });
+
+TEST_P(MpiCollectives, GatherCollectsAtRoot) {
+  const int p = nranks();
+  const std::size_t n = 2000;
+  std::vector<std::uint8_t> at_root;
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<std::uint8_t> mine(n, static_cast<std::uint8_t>(c.rank() + 1));
+    std::vector<std::uint8_t> all(n * static_cast<std::size_t>(p));
+    c.gather(mine.data(), n, all.data(), 0);
+    if (c.rank() == 0) at_root = all;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(at_root[static_cast<std::size_t>(r) * n],
+              static_cast<std::uint8_t>(r + 1));
+}
+
+TEST_P(MpiCollectives, ScatterDistributesFromRoot) {
+  const int p = nranks();
+  const std::size_t n = 2000;
+  std::vector<std::vector<std::uint8_t>> got(static_cast<std::size_t>(p));
+  spmd(nnodes(), ppn(), config(), [&](mpi::Comm& c) {
+    std::vector<std::uint8_t> all(n * static_cast<std::size_t>(p));
+    if (c.rank() == 0)
+      for (int r = 0; r < p; ++r)
+        std::fill_n(all.begin() + static_cast<std::ptrdiff_t>(n) * r, n,
+                    static_cast<std::uint8_t>(r + 10));
+    std::vector<std::uint8_t> mine(n);
+    c.scatter(all.data(), n, mine.data(), 0);
+    got[static_cast<std::size_t>(c.rank())] = mine;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)][n / 2],
+              static_cast<std::uint8_t>(r + 10));
+}

@@ -1,0 +1,94 @@
+// Tests of the NAS-IS-like kernel: global sort correctness across
+// layouts and configurations, key conservation, and the expected I/OAT
+// speedup direction for communication-heavy sizes.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "mpi/world.hpp"
+#include "nas/is_kernel.hpp"
+
+namespace sim = openmx::sim;
+namespace core = openmx::core;
+namespace mpi = openmx::mpi;
+namespace nas = openmx::nas;
+
+namespace {
+
+struct IsOutcome {
+  nas::IsResult result;
+  std::size_t total_keys = 0;
+};
+
+IsOutcome run_is(const core::OmxConfig& cfg, int nnodes, int ppn,
+                 nas::IsParams params) {
+  core::Cluster cluster;
+  cluster.add_nodes(nnodes, cfg);
+  mpi::World world(cluster, mpi::placements(nnodes, ppn));
+  IsOutcome out;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nnodes * ppn));
+  world.run([&](mpi::Comm& c) {
+    const nas::IsResult r = nas::run_is(c, params);
+    counts[static_cast<std::size_t>(c.rank())] = r.keys_checked;
+    if (c.rank() == 0) out.result = r;
+  });
+  for (std::size_t n : counts) out.total_keys += n;
+  return out;
+}
+
+}  // namespace
+
+struct IsLayout {
+  int nnodes;
+  int ppn;
+  bool ioat;
+};
+
+class IsKernel : public ::testing::TestWithParam<IsLayout> {};
+
+TEST_P(IsKernel, SortsAndConservesKeys) {
+  const IsLayout& l = GetParam();
+  core::OmxConfig cfg;
+  cfg.ioat_large = l.ioat;
+  cfg.ioat_shm = l.ioat;
+  nas::IsParams params;
+  params.keys_per_rank = 1 << 13;
+  params.iterations = 3;
+  const IsOutcome out = run_is(cfg, l.nnodes, l.ppn, params);
+  EXPECT_TRUE(out.result.sorted);
+  EXPECT_EQ(out.total_keys,
+            params.keys_per_rank *
+                static_cast<std::size_t>(l.nnodes * l.ppn));
+  EXPECT_GT(out.result.time_per_iteration, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, IsKernel,
+    ::testing::Values(IsLayout{2, 1, false}, IsLayout{2, 1, true},
+                      IsLayout{2, 2, false}, IsLayout{2, 2, true},
+                      IsLayout{1, 4, true}),
+    [](const ::testing::TestParamInfo<IsLayout>& info) {
+      return std::to_string(info.param.nnodes) + "n" +
+             std::to_string(info.param.ppn) + "p" +
+             (info.param.ioat ? "_ioat" : "_memcpy");
+    });
+
+TEST(IsKernel, IoatHelpsAtLargeKeyCounts) {
+  nas::IsParams params;
+  params.keys_per_rank = 1 << 18;
+  params.iterations = 2;
+  core::OmxConfig plain;
+  core::OmxConfig ioat;
+  ioat.ioat_large = true;
+  ioat.ioat_shm = true;
+  const auto t_plain = run_is(plain, 2, 2, params).result.time_per_iteration;
+  const auto t_ioat = run_is(ioat, 2, 2, params).result.time_per_iteration;
+  EXPECT_LT(t_ioat, t_plain);
+}
+
+TEST(IsKernel, DeterministicAcrossRuns) {
+  nas::IsParams params;
+  params.keys_per_rank = 1 << 12;
+  const auto a = run_is({}, 2, 1, params).result.total_time;
+  const auto b = run_is({}, 2, 1, params).result.total_time;
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,173 @@
+// Unit tests for the Ethernet substrate: line-rate serialization, rx-ring
+// skbuff accounting, loss injection and MTU enforcement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/machine.hpp"
+#include "mem/memcpy_model.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace sim = openmx::sim;
+namespace net = openmx::net;
+namespace cpu = openmx::cpu;
+
+namespace {
+
+struct TestPayload : net::Payload {
+  int value = 0;
+  explicit TestPayload(int v) : value(v) {}
+};
+
+struct Fixture {
+  sim::Engine engine;
+  cpu::Machine m0{engine}, m1{engine};
+  openmx::mem::MemBus b0, b1;
+  net::Network network{engine};
+  net::Nic nic0{engine, m0, b0, 0, 1};
+  net::Nic nic1{engine, m1, b1, 1, 1};
+
+  explicit Fixture(net::NetParams p = {}) : network(engine, p) {
+    network.attach(nic0);
+    network.attach(nic1);
+  }
+
+  void send(int from, int to, std::size_t bytes, int tag = 0) {
+    net::Frame f;
+    f.src_node = from;
+    f.dst_node = to;
+    f.wire_bytes = bytes;
+    f.payload = std::make_shared<TestPayload>(tag);
+    network.transmit(std::move(f));
+  }
+};
+
+}  // namespace
+
+TEST(Network, DeliversFrameWithPayload) {
+  Fixture fx;
+  int got = -1;
+  fx.nic1.set_rx_callback([&](net::Skbuff skb) {
+    got = skb.as<TestPayload>().value;
+    EXPECT_EQ(skb.src_node(), 0);
+  });
+  fx.send(0, 1, 1000, 77);
+  fx.engine.run();
+  EXPECT_EQ(got, 77);
+}
+
+TEST(Network, SerializationMatchesLineRate) {
+  // 9953 Mbit/s data rate: a 1244125-byte payload (plus overhead) is one
+  // millisecond of wire time.
+  Fixture fx;
+  const sim::Time t = fx.network.serialization_time(1244125 - 38);
+  EXPECT_NEAR(static_cast<double>(t), 1e6, 1e3);
+}
+
+TEST(Network, BackToBackFramesArePacedByTheWire) {
+  Fixture fx;
+  std::vector<sim::Time> arrivals;
+  fx.nic1.set_rx_callback([&](net::Skbuff) { arrivals.push_back(fx.engine.now()); });
+  for (int i = 0; i < 4; ++i) fx.send(0, 1, 4096);
+  fx.engine.run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  const sim::Time ser = fx.network.serialization_time(4096);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    // The interrupt cost is constant, so arrival spacing equals wire pacing.
+    EXPECT_NEAR(static_cast<double>(arrivals[i] - arrivals[i - 1]),
+                static_cast<double>(ser), 2.0);
+  }
+}
+
+TEST(Network, LatencyAppliesToFirstFrame) {
+  Fixture fx;
+  sim::Time arrival = -1;
+  fx.nic1.set_rx_callback([&](net::Skbuff) { arrival = fx.engine.now(); });
+  fx.send(0, 1, 100);
+  fx.engine.run();
+  const auto& p = fx.network.params();
+  EXPECT_EQ(arrival, fx.network.serialization_time(100) + p.latency_ns +
+                         p.intr_ns);
+}
+
+TEST(Network, FullDuplexDirectionsDoNotSerialize) {
+  Fixture fx;
+  sim::Time a01 = -1, a10 = -1;
+  fx.nic1.set_rx_callback([&](net::Skbuff) { a01 = fx.engine.now(); });
+  fx.nic0.set_rx_callback([&](net::Skbuff) { a10 = fx.engine.now(); });
+  fx.send(0, 1, 8000);
+  fx.send(1, 0, 8000);
+  fx.engine.run();
+  EXPECT_EQ(a01, a10);  // opposite directions use independent wires
+}
+
+TEST(Network, RxRingFillsAndDrops) {
+  net::NetParams p;
+  p.rx_ring_slots = 2;
+  Fixture fx(p);
+  std::vector<net::Skbuff> held;
+  fx.nic1.set_rx_callback([&](net::Skbuff skb) { held.push_back(std::move(skb)); });
+  for (int i = 0; i < 5; ++i) fx.send(0, 1, 512);
+  fx.engine.run();
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_EQ(fx.nic1.counters().get("nic.rx_ring_drops"), 3u);
+  EXPECT_EQ(fx.nic1.rx_ring_in_use(), 2u);
+  held.clear();  // releasing skbuffs returns the slots
+  EXPECT_EQ(fx.nic1.rx_ring_in_use(), 0u);
+}
+
+TEST(Network, SkbuffExplicitReleaseReturnsSlot) {
+  Fixture fx;
+  net::Skbuff kept;
+  fx.nic1.set_rx_callback([&](net::Skbuff skb) { kept = std::move(skb); });
+  fx.send(0, 1, 256);
+  fx.engine.run();
+  EXPECT_EQ(fx.nic1.rx_ring_in_use(), 1u);
+  kept.release();
+  EXPECT_EQ(fx.nic1.rx_ring_in_use(), 0u);
+  EXPECT_FALSE(kept.valid());
+}
+
+TEST(Network, LossInjectionDropsDeterministically) {
+  net::NetParams p;
+  p.loss_prob = 0.5;
+  p.loss_seed = 7;
+  Fixture fx(p);
+  int received = 0;
+  fx.nic1.set_rx_callback([&](net::Skbuff) { ++received; });
+  for (int i = 0; i < 200; ++i) fx.send(0, 1, 64);
+  fx.engine.run();
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 150);
+  EXPECT_EQ(fx.network.counters().get("net.dropped_frames"),
+            200u - static_cast<unsigned>(received));
+}
+
+TEST(Network, OversizedFrameThrows) {
+  Fixture fx;
+  EXPECT_THROW(fx.send(0, 1, 10000), std::logic_error);
+}
+
+TEST(Network, UnattachedNodeThrows) {
+  Fixture fx;
+  EXPECT_THROW(fx.send(0, 5, 100), std::logic_error);
+}
+
+TEST(Network, NicDmaWindowIsNotedOnBus) {
+  Fixture fx;
+  fx.nic1.set_rx_callback([&](net::Skbuff) {});
+  fx.send(0, 1, 4096);
+  fx.engine.run();
+  // Bus saw the NIC stream recently (window extends past delivery).
+  EXPECT_TRUE(fx.b1.nic_dma_active(fx.engine.now()));
+}
+
+TEST(Network, InterruptCostChargedToBhCore) {
+  Fixture fx;
+  fx.nic1.set_rx_callback([&](net::Skbuff) {});
+  fx.send(0, 1, 1000);
+  fx.engine.run();
+  EXPECT_EQ(fx.m1.busy(1, cpu::Cat::BottomHalf),
+            fx.network.params().intr_ns);
+}

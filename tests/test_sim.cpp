@@ -1,0 +1,260 @@
+// Unit tests for the discrete-event engine, cancellable events, the
+// SimThread handoff scheduler and the wait queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_thread.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace sim = openmx::sim;
+
+TEST(Time, DurationForBytesRoundsAndNeverZero) {
+  EXPECT_EQ(sim::duration_for_bytes(0, 1e9), 0);
+  EXPECT_EQ(sim::duration_for_bytes(1000, 1e9), 1000);
+  EXPECT_GE(sim::duration_for_bytes(1, 1e12), 1);  // sub-ns clamps to 1
+}
+
+TEST(Time, MibPerSecond) {
+  // 1 MiB per millisecond = 1000 MiB per second.
+  EXPECT_NEAR(sim::mib_per_second(sim::MiB, sim::kMillisecond), 1000.0, 1e-6);
+  EXPECT_EQ(sim::mib_per_second(123, 0), 0.0);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  sim::Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  sim::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) e.schedule(5, [&, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedScheduling) {
+  sim::Engine e;
+  sim::Time inner_fired_at = -1;
+  e.schedule(10, [&] {
+    e.schedule(5, [&] { inner_fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(inner_fired_at, 15);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  sim::Engine e;
+  e.schedule(10, [&] { EXPECT_THROW(e.schedule_at(5, [] {}), std::logic_error); });
+  e.run();
+}
+
+TEST(Engine, CancelledEventDoesNotFire) {
+  sim::Engine e;
+  bool fired = false;
+  auto h = e.schedule_cancellable(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireIsHarmless) {
+  sim::Engine e;
+  int fires = 0;
+  auto h = e.schedule_cancellable(10, [&] { ++fires; });
+  e.run();
+  h.cancel();
+  e.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  sim::Engine e;
+  int fires = 0;
+  e.schedule(10, [&] { ++fires; });
+  e.schedule(100, [&] { ++fires; });
+  e.run_until(50);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(e.now(), 50);
+  e.run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimThread, AdvancesVirtualTime) {
+  sim::Engine e;
+  sim::Time t1 = -1, t2 = -1;
+  sim::SimThread t(e, "worker", [&] {
+    t1 = e.now();
+    t.advance(100);
+    t2 = e.now();
+  });
+  t.start();
+  e.run();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(t1, 0);
+  EXPECT_EQ(t2, 100);
+}
+
+TEST(SimThread, PauseAndWake) {
+  sim::Engine e;
+  sim::Time woke_at = -1;
+  sim::SimThread t(e, "sleeper", [&] {
+    t.pause();
+    woke_at = e.now();
+  });
+  t.start();
+  e.schedule(500, [&] { t.wake(); });
+  e.run();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(woke_at, 500);
+}
+
+TEST(SimThread, WakeBeforePauseIsNotLost) {
+  sim::Engine e;
+  bool done = false;
+  sim::SimThread t(e, "t", [&] {
+    t.advance(100);  // wake() arrives while we are running
+    t.pause();       // must return immediately
+    done = true;
+  });
+  t.start();
+  e.schedule(50, [&] { t.wake(); });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SimThread, StuckThreadIsDetectedAndAborted) {
+  sim::Engine e;
+  {
+    sim::SimThread t(e, "stuck", [&] { t.pause(); });
+    t.start();
+    e.run();
+    EXPECT_FALSE(t.finished());
+  }  // destructor aborts it without hanging
+  SUCCEED();
+}
+
+TEST(SimThread, ExceptionIsCaptured) {
+  sim::Engine e;
+  sim::SimThread t(e, "thrower", [&] { throw std::runtime_error("boom"); });
+  t.start();
+  e.run();
+  EXPECT_TRUE(t.finished());
+  EXPECT_TRUE(t.failed());
+  EXPECT_THROW(t.rethrow_if_failed(), std::runtime_error);
+}
+
+TEST(SimThread, TwoThreadsInterleaveDeterministically) {
+  sim::Engine e;
+  std::vector<std::pair<char, sim::Time>> trace;
+  sim::SimThread a(e, "a", [&] {
+    for (int i = 0; i < 3; ++i) {
+      trace.push_back({'a', e.now()});
+      a.advance(10);
+    }
+  });
+  sim::SimThread b(e, "b", [&] {
+    for (int i = 0; i < 3; ++i) {
+      trace.push_back({'b', e.now()});
+      b.advance(15);
+    }
+  });
+  a.start();
+  b.start();
+  e.run();
+  ASSERT_EQ(trace.size(), 6u);
+  // a fires at 0,10,20; b at 0,15,30.
+  EXPECT_EQ(trace[0], (std::pair<char, sim::Time>{'a', 0}));
+  EXPECT_EQ(trace[1], (std::pair<char, sim::Time>{'b', 0}));
+  EXPECT_EQ(trace[2], (std::pair<char, sim::Time>{'a', 10}));
+  EXPECT_EQ(trace[3], (std::pair<char, sim::Time>{'b', 15}));
+  EXPECT_EQ(trace[4], (std::pair<char, sim::Time>{'a', 20}));
+  EXPECT_EQ(trace[5], (std::pair<char, sim::Time>{'b', 30}));
+}
+
+TEST(WaitQueue, WakeOneReleasesInFifoOrder) {
+  sim::Engine e;
+  sim::WaitQueue q;
+  std::vector<int> woken;
+  sim::SimThread t1(e, "w1", [&] {
+    q.sleep(t1);
+    woken.push_back(1);
+  });
+  sim::SimThread t2(e, "w2", [&] {
+    q.sleep(t2);
+    woken.push_back(2);
+  });
+  t1.start();
+  t2.start();
+  e.schedule(10, [&] { q.wake_one(); });
+  e.schedule(20, [&] { q.wake_one(); });
+  e.run();
+  EXPECT_EQ(woken, (std::vector<int>{1, 2}));
+}
+
+TEST(WaitQueue, WakeAll) {
+  sim::Engine e;
+  sim::WaitQueue q;
+  int woken = 0;
+  sim::SimThread t1(e, "w1", [&] { q.sleep(t1); ++woken; });
+  sim::SimThread t2(e, "w2", [&] { q.sleep(t2); ++woken; });
+  t1.start();
+  t2.start();
+  e.schedule(10, [&] { q.wake_all(); });
+  e.run();
+  EXPECT_EQ(woken, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  sim::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  sim::Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  sim::Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Stats, SummaryTracksMoments) {
+  sim::Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, CountersAccumulate) {
+  sim::Counters c;
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}

@@ -1,0 +1,111 @@
+// Tests for the event-trace subsystem and its driver integration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/endpoint.hpp"
+#include "sim/trace.hpp"
+
+namespace sim = openmx::sim;
+namespace core = openmx::core;
+
+TEST(Trace, DisabledRecordsNothing) {
+  sim::Trace t;
+  t.record(1, 0, "x", "y");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trace, RecordsInOrder) {
+  sim::Trace t;
+  t.enable();
+  t.record(10, 0, "a", "first");
+  t.record(20, 1, "b", "second");
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].message, "first");
+  EXPECT_EQ(snap[1].when, 20);
+  EXPECT_EQ(snap[1].node, 1);
+}
+
+TEST(Trace, RingDropsOldest) {
+  sim::Trace t(4);
+  t.enable();
+  for (int i = 0; i < 10; ++i)
+    t.record(i, 0, "c", std::to_string(i));
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto snap = t.snapshot();
+  EXPECT_EQ(snap.front().message, "6");
+  EXPECT_EQ(snap.back().message, "9");
+}
+
+TEST(Trace, FilterByCategoryPrefix) {
+  sim::Trace t;
+  t.enable();
+  t.set_filter("wire");
+  t.record(1, 0, "wire.tx", "kept");
+  t.record(2, 0, "pull.start", "dropped");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.count("wire"), 1u);
+}
+
+TEST(Trace, ClearResets) {
+  sim::Trace t;
+  t.enable();
+  t.record(1, 0, "a", "x");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceIntegration, DriverEmitsWireAndPullRecords) {
+  core::OmxConfig cfg;
+  cfg.ioat_large = true;
+  core::Cluster cluster;
+  cluster.add_nodes(2, cfg);
+  cluster.engine().trace().enable();
+
+  const std::size_t len = 256 * sim::KiB;  // 64 frags, 8 blocks
+  std::vector<std::uint8_t> src(len, 3), dst(len);
+  cluster.spawn(cluster.node(0), 0, "s", [&](core::Process& p) {
+    core::Endpoint ep(p, 0);
+    ep.wait(ep.isend(src.data(), len, {1, 1}, 1));
+  });
+  cluster.spawn(cluster.node(1), 0, "r", [&](core::Process& p) {
+    core::Endpoint ep(p, 1);
+    ep.wait(ep.irecv(dst.data(), len, 1));
+  });
+  cluster.run();
+  EXPECT_EQ(dst, src);
+
+  auto& tr = cluster.engine().trace();
+  // rndv + 8 pull reqs + 64 replies + acks all traced.
+  EXPECT_EQ(tr.count("pull.start"), 1u);
+  EXPECT_EQ(tr.count("pull.done"), 1u);
+  EXPECT_GE(tr.count("wire.tx"), 74u);
+
+  // The pull lifecycle is ordered: start strictly before done.
+  sim::Time started = -1, done = -1;
+  for (const auto& r : tr.snapshot()) {
+    if (r.category == "pull.start") started = r.when;
+    if (r.category == "pull.done") done = r.when;
+  }
+  EXPECT_GE(started, 0);
+  EXPECT_GT(done, started);
+}
+
+TEST(TraceIntegration, DisabledTraceCostsNothingInCounters) {
+  core::Cluster cluster;
+  cluster.add_nodes(2, {});
+  std::vector<std::uint8_t> src(4096, 1), dst(4096);
+  cluster.spawn(cluster.node(0), 0, "s", [&](core::Process& p) {
+    core::Endpoint ep(p, 0);
+    ep.wait(ep.isend(src.data(), src.size(), {1, 1}, 1));
+  });
+  cluster.spawn(cluster.node(1), 0, "r", [&](core::Process& p) {
+    core::Endpoint ep(p, 1);
+    ep.wait(ep.irecv(dst.data(), dst.size(), 1));
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.engine().trace().size(), 0u);
+}

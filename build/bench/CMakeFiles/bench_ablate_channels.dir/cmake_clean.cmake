@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_channels.dir/bench_ablate_channels.cpp.o"
+  "CMakeFiles/bench_ablate_channels.dir/bench_ablate_channels.cpp.o.d"
+  "bench_ablate_channels"
+  "bench_ablate_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_cleanup.dir/bench_ablate_cleanup.cpp.o"
+  "CMakeFiles/bench_ablate_cleanup.dir/bench_ablate_cleanup.cpp.o.d"
+  "bench_ablate_cleanup"
+  "bench_ablate_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_fragsize.dir/bench_ablate_fragsize.cpp.o"
+  "CMakeFiles/bench_ablate_fragsize.dir/bench_ablate_fragsize.cpp.o.d"
+  "bench_ablate_fragsize"
+  "bench_ablate_fragsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_fragsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

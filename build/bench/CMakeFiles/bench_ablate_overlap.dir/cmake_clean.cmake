@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_overlap.dir/bench_ablate_overlap.cpp.o"
+  "CMakeFiles/bench_ablate_overlap.dir/bench_ablate_overlap.cpp.o.d"
+  "bench_ablate_overlap"
+  "bench_ablate_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_sleep.dir/bench_ablate_sleep.cpp.o"
+  "CMakeFiles/bench_ablate_sleep.dir/bench_ablate_sleep.cpp.o.d"
+  "bench_ablate_sleep"
+  "bench_ablate_sleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_sleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

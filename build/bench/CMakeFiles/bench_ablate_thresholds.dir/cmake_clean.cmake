@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_thresholds.dir/bench_ablate_thresholds.cpp.o"
+  "CMakeFiles/bench_ablate_thresholds.dir/bench_ablate_thresholds.cpp.o.d"
+  "bench_ablate_thresholds"
+  "bench_ablate_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_pingpong_nocopy.dir/bench_fig03_pingpong_nocopy.cpp.o"
+  "CMakeFiles/bench_fig03_pingpong_nocopy.dir/bench_fig03_pingpong_nocopy.cpp.o.d"
+  "bench_fig03_pingpong_nocopy"
+  "bench_fig03_pingpong_nocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_pingpong_nocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_copy_chunks.dir/bench_fig07_copy_chunks.cpp.o"
+  "CMakeFiles/bench_fig07_copy_chunks.dir/bench_fig07_copy_chunks.cpp.o.d"
+  "bench_fig07_copy_chunks"
+  "bench_fig07_copy_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_copy_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pingpong_ioat.dir/bench_fig08_pingpong_ioat.cpp.o"
+  "CMakeFiles/bench_fig08_pingpong_ioat.dir/bench_fig08_pingpong_ioat.cpp.o.d"
+  "bench_fig08_pingpong_ioat"
+  "bench_fig08_pingpong_ioat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pingpong_ioat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

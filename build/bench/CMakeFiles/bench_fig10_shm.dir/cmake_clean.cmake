@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_shm.dir/bench_fig10_shm.cpp.o"
+  "CMakeFiles/bench_fig10_shm.dir/bench_fig10_shm.cpp.o.d"
+  "bench_fig10_shm"
+  "bench_fig10_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_imb_suite.dir/bench_fig12_imb_suite.cpp.o"
+  "CMakeFiles/bench_fig12_imb_suite.dir/bench_fig12_imb_suite.cpp.o.d"
+  "bench_fig12_imb_suite"
+  "bench_fig12_imb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_imb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

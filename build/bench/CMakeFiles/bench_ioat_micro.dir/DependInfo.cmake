@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ioat_micro.cpp" "bench/CMakeFiles/bench_ioat_micro.dir/bench_ioat_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_ioat_micro.dir/bench_ioat_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/omx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/omx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/imb/CMakeFiles/omx_imb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

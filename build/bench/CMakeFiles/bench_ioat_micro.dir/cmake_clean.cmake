@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ioat_micro.dir/bench_ioat_micro.cpp.o"
+  "CMakeFiles/bench_ioat_micro.dir/bench_ioat_micro.cpp.o.d"
+  "bench_ioat_micro"
+  "bench_ioat_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ioat_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

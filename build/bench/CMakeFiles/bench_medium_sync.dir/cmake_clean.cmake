@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_medium_sync.dir/bench_medium_sync.cpp.o"
+  "CMakeFiles/bench_medium_sync.dir/bench_medium_sync.cpp.o.d"
+  "bench_medium_sync"
+  "bench_medium_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_medium_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nas_is.dir/bench_nas_is.cpp.o"
+  "CMakeFiles/bench_nas_is.dir/bench_nas_is.cpp.o.d"
+  "bench_nas_is"
+  "bench_nas_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nas_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intranode_sort.dir/intranode_sort.cpp.o"
+  "CMakeFiles/intranode_sort.dir/intranode_sort.cpp.o.d"
+  "intranode_sort"
+  "intranode_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intranode_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

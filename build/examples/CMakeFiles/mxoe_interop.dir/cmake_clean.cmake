@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxoe_interop.dir/mxoe_interop.cpp.o"
+  "CMakeFiles/mxoe_interop.dir/mxoe_interop.cpp.o.d"
+  "mxoe_interop"
+  "mxoe_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxoe_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

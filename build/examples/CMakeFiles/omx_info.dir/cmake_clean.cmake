@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_info.dir/omx_info.cpp.o"
+  "CMakeFiles/omx_info.dir/omx_info.cpp.o.d"
+  "omx_info"
+  "omx_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

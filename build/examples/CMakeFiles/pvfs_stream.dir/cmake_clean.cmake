@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_stream.dir/pvfs_stream.cpp.o"
+  "CMakeFiles/pvfs_stream.dir/pvfs_stream.cpp.o.d"
+  "pvfs_stream"
+  "pvfs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/omx_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/omx_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/endpoint.cpp" "src/core/CMakeFiles/omx_core.dir/endpoint.cpp.o" "gcc" "src/core/CMakeFiles/omx_core.dir/endpoint.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/omx_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/omx_core.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/omx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_core.dir/driver.cpp.o"
+  "CMakeFiles/omx_core.dir/driver.cpp.o.d"
+  "CMakeFiles/omx_core.dir/endpoint.cpp.o"
+  "CMakeFiles/omx_core.dir/endpoint.cpp.o.d"
+  "CMakeFiles/omx_core.dir/node.cpp.o"
+  "CMakeFiles/omx_core.dir/node.cpp.o.d"
+  "libomx_core.a"
+  "libomx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

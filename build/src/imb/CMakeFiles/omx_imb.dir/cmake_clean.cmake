@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_imb.dir/imb.cpp.o"
+  "CMakeFiles/omx_imb.dir/imb.cpp.o.d"
+  "libomx_imb.a"
+  "libomx_imb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_imb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_mpi.dir/comm.cpp.o"
+  "CMakeFiles/omx_mpi.dir/comm.cpp.o.d"
+  "libomx_mpi.a"
+  "libomx_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/is_kernel.cpp" "src/nas/CMakeFiles/omx_nas.dir/is_kernel.cpp.o" "gcc" "src/nas/CMakeFiles/omx_nas.dir/is_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/omx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/omx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_nas.dir/is_kernel.cpp.o"
+  "CMakeFiles/omx_nas.dir/is_kernel.cpp.o.d"
+  "libomx_nas.a"
+  "libomx_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

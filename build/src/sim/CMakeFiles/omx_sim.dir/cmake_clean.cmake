@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_sim.dir/sim_thread.cpp.o"
+  "CMakeFiles/omx_sim.dir/sim_thread.cpp.o.d"
+  "libomx_sim.a"
+  "libomx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_endpoint_api.dir/test_endpoint_api.cpp.o"
+  "CMakeFiles/test_endpoint_api.dir/test_endpoint_api.cpp.o.d"
+  "test_endpoint_api"
+  "test_endpoint_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_endpoint_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

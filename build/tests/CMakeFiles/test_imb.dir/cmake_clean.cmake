@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imb.dir/test_imb.cpp.o"
+  "CMakeFiles/test_imb.dir/test_imb.cpp.o.d"
+  "test_imb"
+  "test_imb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omx.dir/test_omx.cpp.o"
+  "CMakeFiles/test_omx.dir/test_omx.cpp.o.d"
+  "test_omx"
+  "test_omx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

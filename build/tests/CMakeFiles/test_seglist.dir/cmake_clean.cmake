@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seglist.dir/test_seglist.cpp.o"
+  "CMakeFiles/test_seglist.dir/test_seglist.cpp.o.d"
+  "test_seglist"
+  "test_seglist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seglist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -25,7 +25,7 @@ CleanupStats run(bool cleanup_on_block, std::size_t len) {
   cfg.cleanup_on_block = cleanup_on_block;
   core::Cluster cluster;
   cluster.add_nodes(2, cfg);
-  std::vector<std::uint8_t> src(len, 9), dst(len);
+  mem::Buffer src(len, 9), dst(len);
   CleanupStats st;
   bool done = false;
   sim::Time t0 = 0, t1 = 0;

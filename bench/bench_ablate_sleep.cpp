@@ -23,7 +23,7 @@ SleepStats run(bool sleep, std::size_t len, int iters) {
   cfg.sleep_sync_copy = sleep;
   core::Cluster cluster;
   cluster.add_node(cfg);
-  std::vector<std::uint8_t> buf0(len, 1), buf1(len, 2);
+  mem::Buffer buf0(len, 1), buf1(len, 2);
   sim::Time t0 = 0, t1 = 0;
   cluster.spawn(cluster.node(0), 0, "ping", [&](core::Process& p) {
     core::Endpoint ep(p, 0);

@@ -18,7 +18,7 @@ double vectorial_pingpong_mibs(const core::OmxConfig& cfg, std::size_t len,
                                std::size_t seg, int iters) {
   core::Cluster cluster;
   cluster.add_nodes(2, cfg);
-  std::vector<std::uint8_t> buf0(len, 1), buf1(len, 2);
+  mem::Buffer buf0(len, 1), buf1(len, 2);
   std::vector<core::IoVec> segs;
   for (std::size_t off = 0; off < len; off += seg)
     segs.push_back(core::IoVec{buf1.data() + off, std::min(seg, len - off)});

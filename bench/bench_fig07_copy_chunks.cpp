@@ -31,7 +31,7 @@ double memcpy_mibs(std::size_t total, std::size_t chunk) {
 double ioat_mibs(std::size_t total, std::size_t chunk) {
   sim::Engine engine;
   dma::IoatEngine io(engine);
-  std::vector<std::uint8_t> src(total), dst(total);
+  mem::Buffer src(total), dst(total);
   sim::Time cpu_time = 0;
   std::uint64_t last = 0;
   for (std::size_t off = 0; off < total; off += chunk) {

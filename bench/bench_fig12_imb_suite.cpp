@@ -37,21 +37,37 @@ void run_panel(std::size_t bytes, int reps) {
               size_label(bytes).c_str());
   std::printf("%-12s %10s %12s %10s %12s\n", "test", "OMX 1ppn",
               "OMX+IOAT 1ppn", "OMX 2ppn", "OMX+IOAT 2ppn");
+
+  // All (test, config, ppn) simulations of the panel are independent;
+  // fan them out across worker threads and print from the index-ordered
+  // results (identical to the old sequential loop, just faster).
+  const std::vector<imb::Test>& tests = imb::all_tests();
+  struct Point {
+    core::OmxConfig cfg;
+    int ppn;
+  };
+  const std::vector<Point> points = {
+      {cfg_mx(), 1},  {cfg_omx(), 1}, {cfg_omx_ioat(), 1},
+      {cfg_mx(), 2},  {cfg_omx(), 2}, {cfg_omx_ioat(), 2},
+  };
+  const std::vector<sim::Time> times = parallel_points<sim::Time>(
+      tests.size() * points.size(), [&](std::size_t i) {
+        const Point& pt = points[i % points.size()];
+        return imb_time(pt.cfg, tests[i / points.size()], bytes, pt.ppn, reps);
+      });
+
   double sum_omx1 = 0, sum_io1 = 0, sum_omx2 = 0, sum_io2 = 0;
   int n = 0;
-  for (imb::Test t : imb::all_tests()) {
-    const sim::Time mx1 = imb_time(cfg_mx(), t, bytes, 1, reps);
-    const sim::Time omx1 = imb_time(cfg_omx(), t, bytes, 1, reps);
-    const sim::Time io1 = imb_time(cfg_omx_ioat(), t, bytes, 1, reps);
-    const sim::Time mx2 = imb_time(cfg_mx(), t, bytes, 2, reps);
-    const sim::Time omx2 = imb_time(cfg_omx(), t, bytes, 2, reps);
-    const sim::Time io2 = imb_time(cfg_omx_ioat(), t, bytes, 2, reps);
+  for (std::size_t ti = 0; ti < tests.size(); ++ti) {
+    const sim::Time* row = &times[ti * points.size()];
+    const sim::Time mx1 = row[0], omx1 = row[1], io1 = row[2];
+    const sim::Time mx2 = row[3], omx2 = row[4], io2 = row[5];
     const double p_omx1 = 100.0 * static_cast<double>(mx1) / omx1;
     const double p_io1 = 100.0 * static_cast<double>(mx1) / io1;
     const double p_omx2 = 100.0 * static_cast<double>(mx2) / omx2;
     const double p_io2 = 100.0 * static_cast<double>(mx2) / io2;
-    std::printf("%-12s %10.0f %12.0f %10.0f %12.0f\n", imb::test_name(t),
-                p_omx1, p_io1, p_omx2, p_io2);
+    std::printf("%-12s %10.0f %12.0f %10.0f %12.0f\n",
+                imb::test_name(tests[ti]), p_omx1, p_io1, p_omx2, p_io2);
     sum_omx1 += p_omx1;
     sum_io1 += p_io1;
     sum_omx2 += p_omx2;

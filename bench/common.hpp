@@ -11,6 +11,8 @@
 
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
+#include "mem/aligned_buffer.hpp"
+#include "sim/sweep.hpp"
 
 namespace openmx::bench {
 
@@ -29,6 +31,16 @@ inline std::vector<std::size_t> size_sweep(std::size_t min_size,
   std::vector<std::size_t> v;
   for (std::size_t s = min_size; s <= max_size; s *= 2) v.push_back(s);
   return v;
+}
+
+/// Runs `job(i)` for i in [0, n) across worker threads and returns the
+/// results in index order.  Each job builds its own Cluster, so results
+/// are bit-identical to a sequential run; OPENMX_SWEEP_THREADS overrides
+/// the worker count (1 = sequential reference).
+template <typename R, typename Fn>
+std::vector<R> parallel_points(std::size_t n, Fn&& job) {
+  sim::SweepRunner runner{sim::sweep_options_from_env()};
+  return runner.map<R>(n, std::function<R(std::size_t)>(std::forward<Fn>(job)));
 }
 
 /// Pre-canned configurations matching the paper's curve labels.
@@ -59,7 +71,7 @@ inline Time pingpong_oneway(const OmxConfig& cfg, std::size_t len, int iters,
                             net::NetParams netp = {}) {
   Cluster cluster(np, netp);
   cluster.add_nodes(2, cfg);
-  std::vector<std::uint8_t> buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
+  mem::Buffer buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
   Time t0 = 0, t1 = 0;
 
   cluster.spawn(cluster.node(0), 0, "ping", [&](Process& p) {
@@ -96,7 +108,7 @@ inline Time local_pingpong_oneway(const OmxConfig& cfg, std::size_t len,
                                   int warmup = 2) {
   Cluster cluster;
   cluster.add_node(cfg);
-  std::vector<std::uint8_t> buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
+  mem::Buffer buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
   Time t0 = 0, t1 = 0;
 
   cluster.spawn(cluster.node(0), core_a, "ping", [&](Process& p) {
@@ -132,7 +144,7 @@ inline CpuUsage stream_cpu_usage(const OmxConfig& cfg, std::size_t len,
                                  int msgs) {
   Cluster cluster;
   cluster.add_nodes(2, cfg);
-  std::vector<std::uint8_t> sbuf(len, 1), rbuf(len, 0);
+  mem::Buffer sbuf(len, 1), rbuf(len, 0);
   Time t0 = 0, t1 = 0;
   cpu::Machine& m = cluster.node(1).machine();
   Time u0 = 0, d0 = 0, b0 = 0;

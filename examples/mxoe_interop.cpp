@@ -11,6 +11,7 @@
 
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
+#include "mem/aligned_buffer.hpp"
 
 using namespace openmx;
 
@@ -30,7 +31,7 @@ double run(bool compute_ioat) {
 
   constexpr std::size_t kBlock = 1 * sim::MiB;
   constexpr int kBlocks = 8;
-  std::vector<std::uint8_t> file(kBlock, 0xAB);
+  mem::Buffer file(kBlock, 0xAB);
   sim::Time t0 = 0, t1 = 0;
 
   cluster.spawn(cluster.node(0), 0, "io-node", [&](core::Process& p) {
@@ -49,7 +50,7 @@ double run(bool compute_ioat) {
     cluster.spawn(cluster.node(static_cast<std::size_t>(c)), 0,
                   "compute" + std::to_string(c), [&, c](core::Process& p) {
                     core::Endpoint ep(p, static_cast<std::uint16_t>(c));
-                    std::vector<std::uint8_t> buf(kBlock);
+                    mem::Buffer buf(kBlock);
                     for (int b = 0; b < kBlocks; ++b) {
                       ep.wait(ep.irecv(buf.data(), kBlock,
                                        static_cast<std::uint64_t>(b)));

@@ -11,6 +11,7 @@
 
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
+#include "mem/aligned_buffer.hpp"
 
 using namespace openmx;
 
@@ -31,7 +32,7 @@ RunStats run(bool ioat) {
   constexpr int kStripesPerClient = 6;
   constexpr int kClients = 3;
 
-  std::vector<std::uint8_t> file(kStripe, 0xF5);
+  mem::Buffer file(kStripe, 0xF5);
   sim::Time t0 = 0, t1 = 0;
 
   // The I/O server on node 0: streams stripes to each client in turn.
@@ -49,8 +50,8 @@ RunStats run(bool ioat) {
   });
 
   // Three client processes on node 1 (cores 0, 2, 4).
-  std::vector<std::vector<std::uint8_t>> sink(
-      kClients, std::vector<std::uint8_t>(kStripe));
+  std::vector<mem::Buffer> sink(
+      kClients, mem::Buffer(kStripe));
   for (int c = 0; c < kClients; ++c) {
     cluster.spawn(cluster.node(1), c == 0 ? 0 : 2 * c,
                   "client" + std::to_string(c), [&, c](core::Process& p) {

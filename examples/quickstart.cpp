@@ -9,6 +9,7 @@
 
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
+#include "mem/aligned_buffer.hpp"
 
 using namespace openmx;
 
@@ -22,11 +23,11 @@ int main() {
   cluster.add_nodes(2, config);
 
   // 3. Application buffers.
-  std::vector<std::uint8_t> small_msg(1024);
+  mem::Buffer small_msg(1024);
   std::iota(small_msg.begin(), small_msg.end(), 0);
-  std::vector<std::uint8_t> large_msg(2 * sim::MiB, 0x5A);
-  std::vector<std::uint8_t> recv_small(small_msg.size());
-  std::vector<std::uint8_t> recv_large(large_msg.size());
+  mem::Buffer large_msg(2 * sim::MiB, 0x5A);
+  mem::Buffer recv_small(small_msg.size());
+  mem::Buffer recv_large(large_msg.size());
 
   // 4. One process per node, written in plain blocking style.
   cluster.spawn(cluster.node(0), /*core=*/0, "sender", [&](core::Process& p) {

@@ -27,7 +27,7 @@ sim::Time run_test_local(mpi::Comm& comm, Test test, std::size_t bytes,
       // Ranks 0 and 1 (placed on different nodes by the round-robin rank
       // layout) bounce one message; everyone else idles.
       if (r > 1) return 0;
-      std::vector<std::uint8_t> buf(n);
+      mem::Buffer buf(n);
       return timed(comm, reps, [&](int) {
         if (r == 0) {
           comm.send(buf.data(), bytes, 1, 1);
@@ -41,7 +41,7 @@ sim::Time run_test_local(mpi::Comm& comm, Test test, std::size_t bytes,
     case Test::PingPing: {
       if (r > 1) return 0;
       const int peer = 1 - r;
-      std::vector<std::uint8_t> sbuf(n), rbuf(n);
+      mem::Buffer sbuf(n), rbuf(n);
       return timed(comm, reps, [&](int) {
         core::Request* rx = comm.irecv(rbuf.data(), bytes, peer, 3);
         core::Request* tx = comm.isend(sbuf.data(), bytes, peer, 3);
@@ -53,7 +53,7 @@ sim::Time run_test_local(mpi::Comm& comm, Test test, std::size_t bytes,
       // Periodic chain: send right, receive from left.
       const int right = (r + 1) % p;
       const int left = (r - 1 + p) % p;
-      std::vector<std::uint8_t> sbuf(n), rbuf(n);
+      mem::Buffer sbuf(n), rbuf(n);
       return timed(comm, reps, [&](int) {
         comm.sendrecv(sbuf.data(), bytes, right, rbuf.data(), bytes, left, 4);
       });
@@ -61,7 +61,7 @@ sim::Time run_test_local(mpi::Comm& comm, Test test, std::size_t bytes,
     case Test::Exchange: {
       const int right = (r + 1) % p;
       const int left = (r - 1 + p) % p;
-      std::vector<std::uint8_t> sbuf(n), r1(n), r2(n);
+      mem::Buffer sbuf(n), r1(n), r2(n);
       return timed(comm, reps, [&](int) {
         core::Request* a = comm.irecv(r1.data(), bytes, left, 5);
         core::Request* b = comm.irecv(r2.data(), bytes, right, 6);
@@ -74,12 +74,12 @@ sim::Time run_test_local(mpi::Comm& comm, Test test, std::size_t bytes,
       });
     }
     case Test::Allreduce: {
-      std::vector<double> buf(std::max<std::size_t>(bytes / 8, 1), 1.0);
+      mem::AlignedVec<double> buf(std::max<std::size_t>(bytes / 8, 1), 1.0);
       return timed(comm, reps,
                    [&](int) { comm.allreduce(buf.data(), buf.size()); });
     }
     case Test::Reduce: {
-      std::vector<double> buf(std::max<std::size_t>(bytes / 8, 1), 1.0);
+      mem::AlignedVec<double> buf(std::max<std::size_t>(bytes / 8, 1), 1.0);
       return timed(comm, reps, [&](int i) {
         comm.reduce(buf.data(), buf.size(), i % p);  // IMB rotates the root
       });
@@ -87,34 +87,34 @@ sim::Time run_test_local(mpi::Comm& comm, Test test, std::size_t bytes,
     case Test::ReduceScatter: {
       const std::size_t per =
           std::max<std::size_t>(bytes / 8 / static_cast<std::size_t>(p), 1);
-      std::vector<double> buf(per * static_cast<std::size_t>(p), 1.0);
+      mem::AlignedVec<double> buf(per * static_cast<std::size_t>(p), 1.0);
       return timed(comm, reps,
                    [&](int) { comm.reduce_scatter(buf.data(), per); });
     }
     case Test::Allgather: {
-      std::vector<std::uint8_t> sbuf(n);
-      std::vector<std::uint8_t> rbuf(n * static_cast<std::size_t>(p));
+      mem::Buffer sbuf(n);
+      mem::Buffer rbuf(n * static_cast<std::size_t>(p));
       return timed(comm, reps, [&](int) {
         comm.allgather(sbuf.data(), bytes, rbuf.data());
       });
     }
     case Test::Allgatherv: {
-      std::vector<std::uint8_t> sbuf(n);
-      std::vector<std::uint8_t> rbuf(n * static_cast<std::size_t>(p));
+      mem::Buffer sbuf(n);
+      mem::Buffer rbuf(n * static_cast<std::size_t>(p));
       const std::vector<std::size_t> lens(static_cast<std::size_t>(p), bytes);
       return timed(comm, reps, [&](int) {
         comm.allgatherv(sbuf.data(), bytes, lens, rbuf.data());
       });
     }
     case Test::Alltoall: {
-      std::vector<std::uint8_t> sbuf(n * static_cast<std::size_t>(p));
-      std::vector<std::uint8_t> rbuf(n * static_cast<std::size_t>(p));
+      mem::Buffer sbuf(n * static_cast<std::size_t>(p));
+      mem::Buffer rbuf(n * static_cast<std::size_t>(p));
       return timed(comm, reps, [&](int) {
         comm.alltoall(sbuf.data(), bytes, rbuf.data());
       });
     }
     case Test::Bcast: {
-      std::vector<std::uint8_t> buf(n);
+      mem::Buffer buf(n);
       return timed(comm, reps,
                    [&](int i) { comm.bcast(buf.data(), bytes, i % p); });
     }

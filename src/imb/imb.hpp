@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mpi/comm.hpp"
+#include "mem/aligned_buffer.hpp"
 
 namespace openmx::imb {
 
@@ -72,7 +73,7 @@ inline sim::Time run_test(mpi::Comm& comm, Test test, std::size_t bytes,
   // max = -min(-t); the mini-MPI allreduce sums, so gather maxima the
   // simple way: allreduce over (t, using max via repeated sendrecv) is
   // overkill — use the sum of one-hot contributions instead.
-  std::vector<double> all(static_cast<std::size_t>(comm.size()), 0.0);
+  mem::AlignedVec<double> all(static_cast<std::size_t>(comm.size()), 0.0);
   all[static_cast<std::size_t>(comm.rank())] = t;
   comm.allreduce(all.data(), all.size());
   double tmax = 0;

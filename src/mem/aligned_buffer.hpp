@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "mem/cache_model.hpp"
+
+namespace openmx::mem {
+
+/// Page-aligned allocator for simulated message buffers.
+///
+/// The cache model keys residency on host virtual pages, so a buffer's
+/// page span depends on where malloc happened to place it: a 128 kB
+/// vector straddles 32 or 33 pages depending on its offset within a
+/// page, which makes copy costs — and therefore whole experiment
+/// results — vary run to run and thread to thread.  Allocating every
+/// experiment buffer page-aligned removes the placement sensitivity:
+/// each buffer spans exactly ceil(len / page) pages and never shares a
+/// page with another buffer, so results are bit-identical across runs
+/// and across SweepRunner worker counts.
+template <typename T>
+struct PageAlignedAllocator {
+  using value_type = T;
+
+  PageAlignedAllocator() = default;
+  template <typename U>
+  PageAlignedAllocator(const PageAlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{CacheModel::kPageSize}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{CacheModel::kPageSize});
+  }
+
+  template <typename U>
+  bool operator==(const PageAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with page-aligned storage; drop-in for the buffers that
+/// experiments hand to Endpoint::isend/irecv.
+template <typename T>
+using AlignedVec = std::vector<T, PageAlignedAllocator<T>>;
+
+/// The common case: a byte message buffer.
+using Buffer = AlignedVec<std::uint8_t>;
+
+}  // namespace openmx::mem

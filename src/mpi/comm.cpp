@@ -1,4 +1,5 @@
 #include "mpi/comm.hpp"
+#include "mem/aligned_buffer.hpp"
 
 #include <cstring>
 #include <stdexcept>
@@ -94,7 +95,7 @@ void Comm::reduce(double* buf, std::size_t count, int root) {
   const std::uint16_t seq = ++coll_seq_;
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
-  std::vector<double> tmp(count);
+  double* tmp = scratch(count);
   int mask = 1;
   while (mask < p) {
     if (vrank & mask) {
@@ -104,7 +105,7 @@ void Comm::reduce(double* buf, std::size_t count, int root) {
     }
     const int vsrc = vrank + mask;
     if (vsrc < p) {
-      coll_recv(tmp.data(), count * sizeof(double), (vsrc + root) % p, seq);
+      coll_recv(tmp, count * sizeof(double), (vsrc + root) % p, seq);
       for (std::size_t i = 0; i < count; ++i) buf[i] += tmp[i];
     }
     mask *= 2;
@@ -116,10 +117,10 @@ void Comm::allreduce(double* buf, std::size_t count) {
   if ((p & (p - 1)) == 0) {
     // Recursive doubling for power-of-two rank counts.
     const std::uint16_t seq = ++coll_seq_;
-    std::vector<double> tmp(count);
+    double* tmp = scratch(count);
     for (int mask = 1; mask < p; mask *= 2) {
       const int peer = rank_ ^ mask;
-      coll_sendrecv(buf, count * sizeof(double), peer, tmp.data(),
+      coll_sendrecv(buf, count * sizeof(double), peer, tmp,
                     count * sizeof(double), peer, seq);
       for (std::size_t i = 0; i < count; ++i) buf[i] += tmp[i];
     }

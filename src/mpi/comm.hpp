@@ -6,6 +6,7 @@
 #include "core/endpoint.hpp"
 #include "core/process.hpp"
 #include "core/wire.hpp"
+#include "mem/aligned_buffer.hpp"
 
 namespace openmx::mpi {
 
@@ -87,11 +88,21 @@ class Comm {
   void coll_sendrecv(const void* sbuf, std::size_t slen, int dst, void* rbuf,
                      std::size_t rlen, int src, std::uint16_t seq);
 
+  /// Reduction scratch space, grown on demand and kept alive for the
+  /// Comm's lifetime.  Allocating it per reduce call would make its
+  /// host pages — and therefore the cache model's residency history —
+  /// depend on allocator state, breaking run-to-run reproducibility.
+  double* scratch(std::size_t count) {
+    if (scratch_.size() < count) scratch_.resize(count);
+    return scratch_.data();
+  }
+
   core::Process& proc_;
   core::Endpoint& ep_;
   int rank_;
   std::vector<core::Addr> ranks_;
   std::uint16_t coll_seq_ = 0;
+  mem::AlignedVec<double> scratch_;
 };
 
 }  // namespace openmx::mpi

@@ -1,40 +1,67 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
-#include <string>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
+#include "sim/event_slab.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
 #include "sim/trace.hpp"
 
 namespace openmx::sim {
 
+class Engine;
+
+/// Callback type stored per event: 48 bytes of inline capture storage
+/// covers every lambda the simulator schedules (the largest, the NIC
+/// delivery closure, is exactly 48 bytes); bigger captures silently fall
+/// back to one heap allocation.
+using EventFn = InlineFn<48>;
+
+/// Engine queue configuration.
+///
+/// The default is the owned 4-ary heap.  `timer_wheel` routes every
+/// event within the wheel horizon through a hierarchical timer wheel
+/// (O(1) insert) with the heap as far-future overflow; dispatch order is
+/// bit-identical between the two structures (asserted by
+/// test_determinism), so the choice is purely a throughput knob.
+struct EngineConfig {
+  bool timer_wheel = false;
+  unsigned wheel_granularity_shift = 6;  // one wheel tick = 64 ns
+};
+
 /// Handle to a scheduled event that may be cancelled before it fires.
 ///
-/// Cancellation is O(1): the event stays in the queue but its shared
-/// liveness flag is cleared, and the dispatch loop skips dead events.
+/// A handle is a weak {slot, generation} reference into the engine's
+/// event slab: cancel() and pending() are O(1) pointer-free lookups, and
+/// allocation-free — the seed engine's `shared_ptr<bool>` liveness flag
+/// is gone.  When the event fires (or the slot is recycled for a newer
+/// event) the generation no longer matches and the handle becomes an
+/// inert no-op.  Copies share fate: they all refer to the same slot.
 /// Used by retransmission timers, which are cancelled far more often
-/// than they fire.
+/// than they fire.  A handle must not outlive its Engine.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancels the event if it has not fired yet.  Idempotent.
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  inline void cancel();
 
   /// True if the event is still pending (scheduled, not fired or cancelled).
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] inline bool pending() const;
 
  private:
   friend class Engine;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(Engine* engine, EventRecord* rec, std::uint32_t gen)
+      : engine_(engine), rec_(rec), gen_(gen) {}
+
+  Engine* engine_ = nullptr;
+  EventRecord* rec_ = nullptr;
+  std::uint32_t gen_ = 0;
 };
 
 /// Deterministic discrete-event engine with nanosecond virtual time.
@@ -44,33 +71,49 @@ class EventHandle {
 /// bit-reproducible.  The engine is strictly single-threaded: only the
 /// currently running entity (the engine itself, or the one SimThread it has
 /// handed control to) may call schedule().
+///
+/// Hot-path layout (see DESIGN.md "Scheduler architecture"): callbacks
+/// are slab-allocated EventRecords with small-buffer-optimized storage;
+/// the priority structure — a 4-ary heap, optionally fronted by a
+/// hierarchical timer wheel — orders 24-byte {when, seq, slot} keys, so
+/// scheduling and dispatch are allocation-free in steady state and no
+/// callback is ever copied.
 class Engine {
  public:
   Engine() = default;
+  explicit Engine(EngineConfig cfg) : cfg_(cfg) {
+    if (cfg.timer_wheel)
+      wheel_ = std::make_unique<TimerWheel>(cfg.wheel_granularity_shift);
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
 
   /// Current virtual time.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` nanoseconds from now.
-  void schedule(Time delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  /// Schedules `fn` to run `delay` nanoseconds from now.  Accepts any
+  /// void() callable, including move-only ones.
+  template <typename F>
+  void schedule(Time delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedules `fn` at absolute time `when` (must not be in the past).
-  void schedule_at(Time when, std::function<void()> fn) {
+  template <typename F>
+  void schedule_at(Time when, F&& fn) {
     if (when < now_) throw std::logic_error("Engine: scheduling in the past");
-    queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
-    ++pending_;
+    push_event(when, std::forward<F>(fn));
   }
 
   /// Schedules a cancellable event; see EventHandle.
-  EventHandle schedule_cancellable(Time delay, std::function<void()> fn) {
-    auto alive = std::make_shared<bool>(true);
-    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
-    ++pending_;
-    return EventHandle{alive};
+  template <typename F>
+  EventHandle schedule_cancellable(Time delay, F&& fn) {
+    const Time when = now_ + delay;
+    if (when < now_) throw std::logic_error("Engine: scheduling in the past");
+    EventRecord* rec = push_event(when, std::forward<F>(fn));
+    return EventHandle{this, rec, rec->gen};
   }
 
   /// Runs until the event queue is empty (cancelled events do not keep the
@@ -84,51 +127,140 @@ class Engine {
   /// Runs events up to and including time `deadline`.  Events scheduled
   /// after the deadline remain queued.  Returns current virtual time.
   Time run_until(Time deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    Time next;
+    while (peek_next_when(next) && next <= deadline) step();
     if (now_ < deadline) now_ = deadline;
     return now_;
   }
 
   /// Dispatches the single next live event.  Returns false when drained.
+  /// The callback runs in place in its slab slot — never moved, never
+  /// copied: the slot is not on the free list while it runs, so
+  /// re-entrant scheduling cannot recycle it.  `cancelled` is flipped
+  /// first so the event's own handle reads as not pending inside the
+  /// callback, and the guard releases the slot even if the callback
+  /// throws.
   bool step() {
-    while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      --pending_;
-      if (ev.alive && !*ev.alive) continue;  // cancelled
-      now_ = ev.when;
-      ev.fn();
+    EventKey k;
+    while (pop_next(k)) {
+      EventRecord* r = k.rec;
+      if (r->cancelled) {  // reap lazily
+        slab_.release(r);
+        continue;
+      }
+      --live_;
+      now_ = k.when;
+      r->cancelled = true;
+      const ReleaseGuard guard{&slab_, r};
+      r->fn();
       return true;
     }
     return false;
   }
 
-  /// Number of scheduled-but-not-yet-dispatched events, including
-  /// cancelled ones that have not been skipped yet.
-  [[nodiscard]] std::size_t pending_events() const { return pending_; }
+  /// Number of events still occupying a slab slot.  This includes
+  /// cancelled events that still occupy a queue entry (they are reaped
+  /// lazily, at the head of the queue) and the event currently being
+  /// dispatched, if any; use live_events() for the count of events that
+  /// will still fire.
+  [[nodiscard]] std::size_t pending_events() const { return slab_.in_use(); }
+
+  /// Number of scheduled events that will actually fire (cancelled
+  /// events excluded the moment cancel() is called).
+  [[nodiscard]] std::size_t live_events() const { return live_; }
 
   /// Event trace shared by every component driven by this engine
   /// (disabled by default; see sim::Trace).
   [[nodiscard]] Trace& trace() { return trace_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;  // null for non-cancellable events
+  friend class EventHandle;
 
-    bool operator>(const Event& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
+  struct ReleaseGuard {
+    EventSlab* slab;
+    EventRecord* rec;
+    ~ReleaseGuard() { slab->release(rec); }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  template <typename F>
+  EventRecord* push_event(Time when, F&& fn) {
+    EventRecord* rec = slab_.alloc();
+    rec->fn.emplace(std::forward<F>(fn));
+    const EventKey k{when, next_seq_++, rec};
+    if (!wheel_ || !wheel_->insert(k, now_)) heap_.push(k);
+    ++live_;
+    return rec;
+  }
+
+  /// Global minimum across wheel and overflow heap, by (when, seq).
+  [[nodiscard]] const EventKey* peek_key() {
+    const EventKey* best = heap_.empty() ? nullptr : &heap_.min();
+    if (wheel_) {
+      const EventKey* w = wheel_->peek_min(now_);
+      if (w && (!best || w->before(*best))) best = w;
+    }
+    return best;
+  }
+
+  bool pop_next(EventKey& out) {
+    if (wheel_) {
+      const EventKey* w = wheel_->peek_min(now_);
+      if (w && (heap_.empty() || w->before(heap_.min()))) {
+        out = wheel_->pop_min(now_);
+        return true;
+      }
+    }
+    if (heap_.empty()) return false;
+    out = heap_.pop_min();
+    return true;
+  }
+
+  /// Pops cancelled events off the head of the queue so that peeks see
+  /// the true next live event.
+  void reap_cancelled() {
+    for (const EventKey* k = peek_key(); k != nullptr; k = peek_key()) {
+      if (!k->rec->cancelled) return;
+      EventKey dead;
+      pop_next(dead);
+      slab_.release(dead.rec);
+    }
+  }
+
+  bool peek_next_when(Time& when) {
+    reap_cancelled();
+    const EventKey* k = peek_key();
+    if (!k) return false;
+    when = k->when;
+    return true;
+  }
+
+  void cancel_event(EventRecord* rec, std::uint32_t gen) {
+    if (rec->gen != gen || rec->cancelled) return;
+    rec->cancelled = true;
+    --live_;
+  }
+
+  [[nodiscard]] static bool event_pending(const EventRecord* rec,
+                                          std::uint32_t gen) {
+    return rec->gen == gen && !rec->cancelled;
+  }
+
+  EngineConfig cfg_;
+  EventSlab slab_;
+  EventHeap heap_;
+  std::unique_ptr<TimerWheel> wheel_;
   Trace trace_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::size_t pending_ = 0;
+  std::size_t live_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (engine_) engine_->cancel_event(rec_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return engine_ != nullptr && Engine::event_pending(rec_, gen_);
+}
 
 }  // namespace openmx::sim

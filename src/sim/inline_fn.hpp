@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace openmx::sim {
+
+/// Move-only `void()` callable with small-buffer optimization.
+///
+/// `std::function` copies its target on every queue rebalance and heap
+/// pop, and always type-erases through a copyable wrapper; for the event
+/// engine's hot path we need neither.  InlineFn stores callables of up to
+/// `InlineBytes` (and `std::max_align_t` alignment) directly in the
+/// object — the common case for every `[this, ...]` lambda the simulator
+/// schedules — and falls back to a single heap allocation only for
+/// oversized or throwing-move captures.  Because it is move-only it can
+/// also hold move-only captures (`std::unique_ptr`, ...), which
+/// `std::function` cannot.
+///
+/// The engine never moves an InlineFn at all: the callable is emplaced
+/// directly into its slab slot, the priority structure orders 24-byte
+/// {when, seq, slot} entries (see event_slab.hpp), and dispatch invokes
+/// the callable in place.  Relocation exists only for standalone
+/// InlineFn users.
+template <std::size_t InlineBytes = 48>
+class InlineFn {
+ public:
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& o) noexcept : ops_(o.ops_), target_(o.target_) {
+    relocate_from(o);
+  }
+
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      target_ = o.target_;
+      relocate_from(o);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Constructs the target in place (no intermediate InlineFn, no
+  /// relocate call) — the engine's scheduling fast path.
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D&>);
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+      target_ = buf_;
+    } else {
+      target_ = new D(std::forward<F>(f));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  void operator()() { ops_->call(target_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// True when the target lives in the inline buffer (test hook).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && !ops_->heap;
+  }
+
+  /// Whether a callable of type D would use the inline buffer.
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(D) <= InlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  void reset() noexcept {
+    if (!ops_) return;
+    if (!ops_->trivial) ops_->destroy(target_);
+    ops_ = nullptr;
+    target_ = nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    void (*relocate)(void*, void*) noexcept;  // move into dst, destroy src
+    void (*destroy)(void*) noexcept;
+    bool heap;
+    // Trivially copyable + trivially destructible inline target: moves
+    // are a straight 48-byte memcpy and destruction is a no-op, with no
+    // indirect call for either.  True for the dominant raw-pointer/int
+    // capture lambdas of the hot path.
+    bool trivial;
+  };
+
+  void relocate_from(InlineFn& o) noexcept {
+    if (ops_ && !ops_->heap) {
+      if (ops_->trivial)
+        std::memcpy(buf_, o.buf_, InlineBytes);
+      else
+        ops_->relocate(o.buf_, buf_);
+      target_ = buf_;
+    }
+    o.ops_ = nullptr;
+    o.target_ = nullptr;
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* o) { (*static_cast<D*>(o))(); },
+        [](void* src, void* dst) noexcept {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        },
+        [](void* o) noexcept { static_cast<D*>(o)->~D(); },
+        false,
+        std::is_trivially_copyable_v<D> &&
+            std::is_trivially_destructible_v<D>};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* o) { (*static_cast<D*>(o))(); },
+        nullptr,
+        [](void* o) noexcept { delete static_cast<D*>(o); },
+        true,
+        false};
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+  const Ops* ops_ = nullptr;
+  // Points at buf_ (inline targets) or the heap allocation; invocation,
+  // destruction and heap-delete all go straight through it without
+  // re-deriving the storage location.
+  void* target_ = nullptr;
+};
+
+}  // namespace openmx::sim

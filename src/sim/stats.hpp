@@ -28,6 +28,17 @@ class Summary {
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
 
+  /// Folds another summary in; used to combine per-replica statistics
+  /// after a SweepRunner fan-out.  Order-independent for count/min/max
+  /// and deterministic for sum/mean as long as merges happen in a fixed
+  /// order (SweepRunner returns results in index order).
+  void merge(const Summary& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
   void reset() { *this = Summary{}; }
 
  private:
@@ -52,6 +63,11 @@ class Counters {
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
     return values_;
+  }
+
+  /// Adds every counter of `o` into this one (sweep result merging).
+  void merge(const Counters& o) {
+    for (const auto& [name, value] : o.values_) values_[name] += value;
   }
 
   void reset() { values_.clear(); }

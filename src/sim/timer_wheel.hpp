@@ -1,0 +1,152 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_slab.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::sim {
+
+/// Hierarchical timer wheel for the short-delay timer traffic that
+/// dominates the driver (retransmit / rendezvous / block timers, NIC
+/// delivery, DMA completions).
+///
+/// Four levels of 64 slots; level `l` buckets cover 64^l ticks, one tick
+/// being `1 << granularity_shift` nanoseconds.  Insert is O(1): pick the
+/// lowest level on which the event's bucket is less than one full
+/// rotation (64 buckets) ahead of the cursor's bucket, OR a bit into
+/// that level's occupancy bitmap.  Unlike a kernel-style wheel there is
+/// **no cascade** step: an entry stays in its insertion bucket forever,
+/// and the minimum is found by comparing the earliest non-empty bucket
+/// of every level (4 × ctz on the occupancy bitmaps plus a scan of
+/// those — small — buckets).  This works because the bucket-distance
+/// insert rule keeps every live entry of a level strictly within one
+/// rotation of the cursor (the distance only shrinks as time advances),
+/// so "rotate bitmap by the cursor's slot index, take the first set
+/// bit" is exactly bucket order — no aliasing is possible — and a
+/// bucket never mixes entries from different rotations.
+///
+/// Determinism: the wheel never orders events itself; the minimum is
+/// selected by the same total (when, seq) key the 4-ary heap uses, so an
+/// Engine running on the wheel dispatches in bit-identical order.
+///
+/// Events beyond the horizon (64^4 ticks ahead) are rejected by
+/// insert(); the Engine keeps those in its overflow heap.
+class TimerWheel {
+ public:
+  static constexpr unsigned kSlotBits = 6;
+  static constexpr unsigned kSlots = 1u << kSlotBits;  // 64
+  static constexpr unsigned kLevels = 4;
+
+  explicit TimerWheel(unsigned granularity_shift = 6)
+      : gshift_(granularity_shift) {}
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Approximate horizon in nanoseconds (64^4 ticks); insert() accepts
+  /// slightly less when the cursor sits mid-bucket on the top level.
+  [[nodiscard]] Time horizon() const {
+    return static_cast<Time>(1ull << (kSlotBits * kLevels + gshift_));
+  }
+
+  /// Files `k` into its bucket.  Returns false (caller keeps the event
+  /// elsewhere) when `k.when` is at or beyond the horizon.  `now` is the
+  /// engine's current virtual time; `k.when >= now` is a precondition.
+  bool insert(const EventKey& k, Time now) {
+    sync(now);
+    const Tick t = tick_of(k.when);
+    unsigned level = 0;
+    while (level < kLevels &&
+           ((t >> (kSlotBits * level)) - (cur_ >> (kSlotBits * level))) >=
+               kSlots)
+      ++level;
+    if (level >= kLevels) return false;
+    const unsigned slot =
+        static_cast<unsigned>((t >> (kSlotBits * level)) & (kSlots - 1));
+    buckets_[level * kSlots + slot].push_back(k);
+    bitmap_[level] |= 1ull << slot;
+    ++count_;
+    return true;
+  }
+
+  /// Earliest entry by (when, seq), or nullptr when empty.  May advance
+  /// the internal cursor (never reorders anything).
+  [[nodiscard]] const EventKey* peek_min(Time now) {
+    sync(now);
+    Pos p;
+    return find_min(p) ? &buckets_[p.bucket][p.idx] : nullptr;
+  }
+
+  /// Removes and returns the earliest entry.  Precondition: !empty().
+  EventKey pop_min(Time now) {
+    sync(now);
+    Pos p;
+    find_min(p);
+    auto& b = buckets_[p.bucket];
+    const EventKey k = b[p.idx];
+    b[p.idx] = b.back();
+    b.pop_back();
+    if (b.empty()) bitmap_[p.bucket / kSlots] &= ~(1ull << (p.bucket % kSlots));
+    --count_;
+    const Tick t = tick_of(k.when);
+    if (t > cur_) cur_ = t;
+    return k;
+  }
+
+ private:
+  using Tick = std::uint64_t;
+
+  struct Pos {
+    std::size_t bucket = 0;
+    std::size_t idx = 0;
+  };
+
+  [[nodiscard]] Tick tick_of(Time t) const {
+    return static_cast<Tick>(t) >> gshift_;
+  }
+
+  void sync(Time now) {
+    const Tick t = tick_of(now);
+    if (t > cur_) cur_ = t;
+  }
+
+  /// Scans the earliest non-empty bucket of each level and selects the
+  /// global (when, seq) minimum across them.
+  bool find_min(Pos& out) {
+    const EventKey* best = nullptr;
+    for (unsigned l = 0; l < kLevels; ++l) {
+      if (bitmap_[l] == 0) continue;
+      const auto rot =
+          static_cast<unsigned>((cur_ >> (kSlotBits * l)) & (kSlots - 1));
+      const std::uint64_t rotated = std::rotr(bitmap_[l], rot);
+      const unsigned slot =
+          (rot + static_cast<unsigned>(std::countr_zero(rotated))) &
+          (kSlots - 1);
+      const std::size_t bucket = l * kSlots + slot;
+      const auto& b = buckets_[bucket];
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (!best || b[i].before(*best)) {
+          best = &b[i];
+          out.bucket = bucket;
+          out.idx = i;
+        }
+      }
+    }
+    return best != nullptr;
+  }
+
+  unsigned gshift_;
+  Tick cur_ = 0;
+  std::size_t count_ = 0;
+  std::array<std::uint64_t, kLevels> bitmap_{};
+  std::array<std::vector<EventKey>, kLevels * kSlots> buckets_;
+};
+
+}  // namespace openmx::sim

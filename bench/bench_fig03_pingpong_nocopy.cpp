@@ -15,11 +15,12 @@ using namespace openmx::bench;
 
 int main() {
   const auto sizes = size_sweep(16, 4 * sim::MiB);
+  obs::Registry metrics;
   std::vector<double> mx, omx, nocopy;
   for (std::size_t s : sizes) {
     const int iters = s >= sim::MiB ? 5 : 20;
     mx.push_back(pingpong_mibs(cfg_mx(), s, iters));
-    omx.push_back(pingpong_mibs(cfg_omx(), s, iters));
+    omx.push_back(pingpong_mibs(cfg_omx(), s, iters, {}, {}, &metrics));
     nocopy.push_back(pingpong_mibs(cfg_omx_nocopy(), s, iters));
   }
   print_table("Figure 3: ping-pong throughput (prediction)",
@@ -31,5 +32,6 @@ int main() {
               "no-copy ~line rate (%.0f MiB/s)\n", line_rate);
   std::printf("measured peaks:    MX %.0f, Open-MX %.0f, no-copy %.0f\n",
               mx.back(), omx.back(), nocopy.back());
+  emit_metrics_json("fig03_pingpong_nocopy", metrics);
   return 0;
 }

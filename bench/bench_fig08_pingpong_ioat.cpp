@@ -14,17 +14,27 @@ using namespace openmx::bench;
 
 int main() {
   const auto sizes = size_sweep(16, 4 * sim::MiB);
+  obs::Registry metrics;
   std::vector<double> mx, omx, ioat, nocopy;
   for (std::size_t s : sizes) {
     const int iters = s >= sim::MiB ? 5 : 20;
     mx.push_back(pingpong_mibs(cfg_mx(), s, iters));
     omx.push_back(pingpong_mibs(cfg_omx(), s, iters));
-    ioat.push_back(pingpong_mibs(cfg_omx_ioat(), s, iters));
+    ioat.push_back(pingpong_mibs(cfg_omx_ioat(), s, iters, {}, {}, &metrics));
     nocopy.push_back(pingpong_mibs(cfg_omx_nocopy(), s, iters));
   }
   print_table("Figure 8: ping-pong throughput with I/OAT copy offload",
               {"MX", "OMX-nocopy(exp.)", "OMX+I/OAT", "Open-MX"}, sizes,
               {mx, nocopy, ioat, omx}, "MiB/s");
+
+  // One instrumented run at 1 MB: spans + utilization timeline on, Perfetto
+  // trace out, per-message waterfalls showing the Fig. 8 overlap window.
+  std::printf("\n--- instrumented 1MB ping-pong (spans + timeline) ---\n");
+  const TracedResult tr = traced_pingpong(
+      cfg_omx_ioat(), sim::MiB, 2, "BENCH_fig08_trace.json", &metrics);
+  std::printf("1MB one-way %.1f us, avg dma-overlap %.3f us over %zu spans\n",
+              sim::to_micros(tr.oneway), tr.avg_overlap_us, tr.num_spans);
+  emit_metrics_json("fig08_pingpong_ioat", metrics);
 
   auto at = [&](std::size_t want) -> std::size_t {
     for (std::size_t i = 0; i < sizes.size(); ++i)

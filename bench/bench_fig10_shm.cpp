@@ -15,6 +15,7 @@ using namespace openmx::bench;
 
 int main() {
   const auto sizes = size_sweep(16, 16 * sim::MiB);
+  obs::Registry metrics;
   std::vector<double> same_subchip, cross_socket, ioat;
   for (std::size_t s : sizes) {
     const int iters = s >= sim::MiB ? 5 : 20;
@@ -30,7 +31,7 @@ int main() {
     // the large-message threshold.
     io.ioat_shm_min_msg = 32 * sim::KiB + 1;
     ioat.push_back(sim::mib_per_second(
-        s, local_pingpong_oneway(io, s, iters, 0, 4)));
+        s, local_pingpong_oneway(io, s, iters, 0, 4, 2, &metrics)));
   }
   print_table("Figure 10: intra-node one-copy ping-pong",
               {"memcpy same subchip", "memcpy cross socket",
@@ -44,5 +45,6 @@ int main() {
   std::printf("measured at 16MB: I/OAT %.2f GiB/s, cross-socket memcpy "
               "%.2f GiB/s (+%.0f%%)\n",
               ioat_gibs, cross_gibs, 100.0 * (ioat_gibs / cross_gibs - 1.0));
+  emit_metrics_json("fig10_shm", metrics);
   return 0;
 }

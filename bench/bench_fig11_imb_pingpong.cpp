@@ -17,7 +17,8 @@ using namespace openmx::bench;
 namespace {
 
 sim::Time imb_time(const core::OmxConfig& cfg, imb::Test test,
-                   std::size_t bytes, int nnodes, int ppn, int reps) {
+                   std::size_t bytes, int nnodes, int ppn, int reps,
+                   obs::Registry* metrics = nullptr) {
   core::Cluster cluster;
   cluster.add_nodes(nnodes, cfg);
   mpi::World world(cluster, mpi::placements(nnodes, ppn));
@@ -26,13 +27,14 @@ sim::Time imb_time(const core::OmxConfig& cfg, imb::Test test,
     const sim::Time t = imb::run_test(c, test, bytes, reps);
     if (c.rank() == 0) out = t;
   });
+  if (metrics) collect_cluster_metrics(cluster, *metrics);
   return out;
 }
 
 double pingpong_mibs_mpi(const core::OmxConfig& cfg, std::size_t bytes,
-                         int reps) {
+                         int reps, obs::Registry* metrics = nullptr) {
   const sim::Time rtt =
-      imb_time(cfg, imb::Test::PingPong, bytes, 2, 1, reps);
+      imb_time(cfg, imb::Test::PingPong, bytes, 2, 1, reps, metrics);
   return sim::mib_per_second(bytes, rtt / 2);
 }
 
@@ -47,11 +49,12 @@ int main() {
   ioat_nrc.regcache = false;
 
   const auto sizes = size_sweep(16, 4 * sim::MiB);
+  obs::Registry metrics;
   std::vector<double> mx_col, ioat_col, omx_col, ioat_nrc_col, omx_nrc_col;
   for (std::size_t s : sizes) {
     const int reps = s >= sim::MiB ? 4 : 12;
     mx_col.push_back(pingpong_mibs_mpi(cfg_mx(), s, reps));
-    ioat_col.push_back(pingpong_mibs_mpi(ioat, s, reps));
+    ioat_col.push_back(pingpong_mibs_mpi(ioat, s, reps, &metrics));
     omx_col.push_back(pingpong_mibs_mpi(omx, s, reps));
     ioat_nrc_col.push_back(pingpong_mibs_mpi(ioat_nrc, s, reps));
     omx_nrc_col.push_back(pingpong_mibs_mpi(omx_nrc, s, reps));
@@ -71,5 +74,6 @@ int main() {
               100.0 * ioat_col[last] / mx_col[last],
               ioat_col[last] - ioat_nrc_col[last],
               ioat_col[last] - omx_col[last]);
+  emit_metrics_json("fig11_imb_pingpong", metrics);
   return 0;
 }

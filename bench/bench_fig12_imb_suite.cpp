@@ -19,20 +19,29 @@ using namespace openmx::bench;
 
 namespace {
 
-sim::Time imb_time(const core::OmxConfig& cfg, imb::Test test,
-                   std::size_t bytes, int ppn, int reps) {
+/// One IMB point plus the cluster's telemetry: SweepRunner jobs return
+/// both, and the caller folds the registries in index order so the merged
+/// metrics are identical for any worker count.
+struct TimedPoint {
+  sim::Time t = 0;
+  obs::Registry reg;
+};
+
+TimedPoint imb_time(const core::OmxConfig& cfg, imb::Test test,
+                    std::size_t bytes, int ppn, int reps) {
   core::Cluster cluster;
   cluster.add_nodes(2, cfg);
   mpi::World world(cluster, mpi::placements(2, ppn));
-  sim::Time out = 0;
+  TimedPoint out;
   world.run([&](mpi::Comm& c) {
     const sim::Time t = imb::run_test(c, test, bytes, reps);
-    if (c.rank() == 0) out = t;
+    if (c.rank() == 0) out.t = t;
   });
+  collect_cluster_metrics(cluster, out.reg);
   return out;
 }
 
-void run_panel(std::size_t bytes, int reps) {
+void run_panel(std::size_t bytes, int reps, obs::Registry& metrics) {
   std::printf("\n--- %s messages, percentage of MXoE performance ---\n",
               size_label(bytes).c_str());
   std::printf("%-12s %10s %12s %10s %12s\n", "test", "OMX 1ppn",
@@ -50,11 +59,16 @@ void run_panel(std::size_t bytes, int reps) {
       {cfg_mx(), 1},  {cfg_omx(), 1}, {cfg_omx_ioat(), 1},
       {cfg_mx(), 2},  {cfg_omx(), 2}, {cfg_omx_ioat(), 2},
   };
-  const std::vector<sim::Time> times = parallel_points<sim::Time>(
+  std::vector<TimedPoint> results = parallel_points<TimedPoint>(
       tests.size() * points.size(), [&](std::size_t i) {
         const Point& pt = points[i % points.size()];
         return imb_time(pt.cfg, tests[i / points.size()], bytes, pt.ppn, reps);
       });
+  std::vector<sim::Time> times;
+  for (TimedPoint& r : results) {
+    times.push_back(r.t);
+    metrics.merge(r.reg);  // index order: deterministic for any worker count
+  }
 
   double sum_omx1 = 0, sum_io1 = 0, sum_omx2 = 0, sum_io2 = 0;
   int n = 0;
@@ -84,9 +98,11 @@ void run_panel(std::size_t bytes, int reps) {
 }  // namespace
 
 int main() {
-  run_panel(128 * sim::KiB, 8);
-  run_panel(4 * sim::MiB, 3);
+  obs::Registry metrics;
+  run_panel(128 * sim::KiB, 8, metrics);
+  run_panel(4 * sim::MiB, 3, metrics);
   std::printf("\npaper: 128kB I/OAT avg 68%% of MXoE (+24%%); 4MB 1ppn avg "
               "90%% (+32%%); 4MB 2ppn up to 94%% (+41%%)\n");
+  emit_metrics_json("fig12_imb_suite", metrics);
   return 0;
 }

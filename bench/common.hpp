@@ -10,8 +10,13 @@
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "core/driver.hpp"
 #include "core/endpoint.hpp"
 #include "mem/aligned_buffer.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "sim/sweep.hpp"
 
 namespace openmx::bench {
@@ -62,15 +67,39 @@ inline OmxConfig cfg_omx_nocopy() {
   return c;
 }
 
-/// One ping-pong timing at the MX API level between two nodes
-/// (node 0 core 0 <-> node 1 core 0), as in Figures 3 and 8.
-/// Returns the one-way time per message (RTT/2) after warm-up.
-inline Time pingpong_oneway(const OmxConfig& cfg, std::size_t len, int iters,
-                            int warmup = 2,
-                            core::NodeParams np = {},
-                            net::NetParams netp = {}) {
-  Cluster cluster(np, netp);
-  cluster.add_nodes(2, cfg);
+/// Folds every per-component registry of the cluster into `out`, in a
+/// fixed order (node index, then component, then the network), so the
+/// merged result is deterministic and SweepRunner-safe.
+inline void collect_cluster_metrics(Cluster& cluster, obs::Registry& out) {
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    core::Node& n = cluster.node(i);
+    out.merge(n.driver().counters());
+    out.merge(n.driver().regcache().counters());
+    out.merge(n.nic().counters());
+    out.merge(n.ioat().counters());
+  }
+  out.merge(cluster.network().counters());
+}
+
+/// Prints the metrics block to stdout and writes it next to the binary as
+/// BENCH_<name>_metrics.json — every bench_fig* target calls this so each
+/// run leaves a machine-readable record of its counters and histograms.
+inline void emit_metrics_json(const std::string& bench_name,
+                              const obs::Registry& reg) {
+  std::printf("\n--- metrics: %s ---\n", bench_name.c_str());
+  reg.dump_json(stdout);
+  const std::string path = "BENCH_" + bench_name + "_metrics.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    reg.dump_json(f);
+    std::fclose(f);
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+}
+
+/// The ping-pong loop itself, on a caller-prepared cluster (so callers can
+/// enable telemetry on the engine first).  Returns one-way time.
+inline Time run_pingpong(Cluster& cluster, std::size_t len, int iters,
+                         int warmup) {
   mem::Buffer buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
   Time t0 = 0, t1 = 0;
 
@@ -94,10 +123,68 @@ inline Time pingpong_oneway(const OmxConfig& cfg, std::size_t len, int iters,
   return (t1 - t0) / (2 * iters);
 }
 
+/// One ping-pong timing at the MX API level between two nodes
+/// (node 0 core 0 <-> node 1 core 0), as in Figures 3 and 8.
+/// Returns the one-way time per message (RTT/2) after warm-up.  When
+/// `metrics` is given, the cluster's counters/histograms are merged into
+/// it after the run.
+inline Time pingpong_oneway(const OmxConfig& cfg, std::size_t len, int iters,
+                            int warmup = 2,
+                            core::NodeParams np = {},
+                            net::NetParams netp = {},
+                            obs::Registry* metrics = nullptr) {
+  Cluster cluster(np, netp);
+  cluster.add_nodes(2, cfg);
+  const Time t = run_pingpong(cluster, len, iters, warmup);
+  if (metrics) collect_cluster_metrics(cluster, *metrics);
+  return t;
+}
+
 inline double pingpong_mibs(const OmxConfig& cfg, std::size_t len, int iters,
                             core::NodeParams np = {},
-                            net::NetParams netp = {}) {
-  return sim::mib_per_second(len, pingpong_oneway(cfg, len, iters, 2, np, netp));
+                            net::NetParams netp = {},
+                            obs::Registry* metrics = nullptr) {
+  return sim::mib_per_second(
+      len, pingpong_oneway(cfg, len, iters, 2, np, netp, metrics));
+}
+
+/// Result of a fully instrumented ping-pong (traced_pingpong below).
+struct TracedResult {
+  Time oneway = 0;
+  std::size_t num_spans = 0;
+  double avg_overlap_us = 0;  // mean Fig. 8 DMA/ingress overlap per message
+};
+
+/// Ping-pong with full telemetry: spans + utilization timeline enabled,
+/// Perfetto JSON written to `json_path`, per-message waterfalls printed.
+/// This is how Figure 8 benches visualize the I/OAT overlap window.
+inline TracedResult traced_pingpong(const OmxConfig& cfg, std::size_t len,
+                                    int iters, const std::string& json_path,
+                                    obs::Registry* metrics = nullptr,
+                                    bool print_waterfall = true) {
+  Cluster cluster;
+  cluster.add_nodes(2, cfg);
+  auto& eng = cluster.engine();
+  eng.timeline().enable();
+  eng.spans().enable();
+
+  TracedResult r;
+  r.oneway = run_pingpong(cluster, len, iters, /*warmup=*/1);
+  r.num_spans = eng.spans().size();
+  double total_overlap = 0;
+  for (const auto& [key, s] : eng.spans().all())
+    total_overlap += sim::to_micros(s.overlap_ns());
+  if (r.num_spans)
+    r.avg_overlap_us = total_overlap / static_cast<double>(r.num_spans);
+
+  if (print_waterfall) obs::dump_waterfall(stdout, eng.spans());
+  if (obs::write_chrome_trace_file(json_path, eng.timeline(), eng.spans(),
+                                   static_cast<int>(cluster.num_nodes())))
+    std::printf(
+        "perfetto trace written to %s (%zu spans, avg dma-overlap %.3f us)\n",
+        json_path.c_str(), r.num_spans, r.avg_overlap_us);
+  if (metrics) collect_cluster_metrics(cluster, *metrics);
+  return r;
 }
 
 /// Intra-node ping-pong between two processes of one node (Figure 10).
@@ -105,7 +192,8 @@ inline double pingpong_mibs(const OmxConfig& cfg, std::size_t len, int iters,
 /// {0,4} crosses sockets.
 inline Time local_pingpong_oneway(const OmxConfig& cfg, std::size_t len,
                                   int iters, int core_a, int core_b,
-                                  int warmup = 2) {
+                                  int warmup = 2,
+                                  obs::Registry* metrics = nullptr) {
   Cluster cluster;
   cluster.add_node(cfg);
   mem::Buffer buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
@@ -128,26 +216,33 @@ inline Time local_pingpong_oneway(const OmxConfig& cfg, std::size_t len,
     }
   });
   cluster.run();
+  if (metrics) collect_cluster_metrics(cluster, *metrics);
   return (t1 - t0) / (2 * iters);
 }
 
 /// CPU-usage measurement of Figure 9: a unidirectional stream of
 /// synchronous large messages into node 1; returns the receiver's busy
 /// fraction of one core, split by category, over the active window.
+/// `dma` additionally reports the I/OAT channels' busy fraction over the
+/// same window — the engine-side half of the CPU/DMA utilization picture.
 struct CpuUsage {
   double user = 0, driver = 0, bh = 0;
   [[nodiscard]] double total() const { return user + driver + bh; }
+  double dma = 0;
   double throughput_mibs = 0;
 };
 
+/// The breakdown is derived from the obs utilization timeline: each busy
+/// slice of node 1's cores is clipped to the measurement window and summed
+/// per category, replacing the bespoke busy-counter deltas this harness
+/// used to keep (a regression test asserts both accountings agree).
 inline CpuUsage stream_cpu_usage(const OmxConfig& cfg, std::size_t len,
-                                 int msgs) {
+                                 int msgs, obs::Registry* metrics = nullptr) {
   Cluster cluster;
   cluster.add_nodes(2, cfg);
+  cluster.engine().timeline().enable();
   mem::Buffer sbuf(len, 1), rbuf(len, 0);
   Time t0 = 0, t1 = 0;
-  cpu::Machine& m = cluster.node(1).machine();
-  Time u0 = 0, d0 = 0, b0 = 0;
 
   cluster.spawn(cluster.node(0), 0, "src", [&](Process& p) {
     Endpoint ep(p, 0);
@@ -160,27 +255,29 @@ inline CpuUsage stream_cpu_usage(const OmxConfig& cfg, std::size_t len,
     Endpoint ep(p, 1);
     ep.wait(ep.irecv(rbuf.data(), len, 7));
     t0 = p.now();
-    u0 = m.busy_all_cores(cpu::Cat::UserLib);
-    d0 = m.busy_all_cores(cpu::Cat::DriverSyscall);
-    b0 = m.busy_all_cores(cpu::Cat::BottomHalf);
     for (int i = 0; i < msgs; ++i)
       ep.wait(ep.irecv(rbuf.data(), len, 7));
     t1 = p.now();
   });
   cluster.run();
 
+  const obs::Timeline& tl = cluster.engine().timeline();
   CpuUsage out;
   const double window = static_cast<double>(t1 - t0);
   out.user =
-      static_cast<double>(m.busy_all_cores(cpu::Cat::UserLib) - u0) / window;
+      static_cast<double>(tl.busy_in_window(1, obs::kCatUserLib, t0, t1)) /
+      window;
   out.driver =
-      static_cast<double>(m.busy_all_cores(cpu::Cat::DriverSyscall) - d0) /
+      static_cast<double>(tl.busy_in_window(1, obs::kCatDriver, t0, t1)) /
       window;
   out.bh =
-      static_cast<double>(m.busy_all_cores(cpu::Cat::BottomHalf) - b0) /
+      static_cast<double>(tl.busy_in_window(1, obs::kCatBottomHalf, t0, t1)) /
       window;
+  out.dma =
+      static_cast<double>(tl.dma_busy_in_window(1, t0, t1)) / window;
   out.throughput_mibs = sim::mib_per_second(len * static_cast<size_t>(msgs),
                                             t1 - t0);
+  if (metrics) collect_cluster_metrics(cluster, *metrics);
   return out;
 }
 

@@ -39,6 +39,24 @@ struct Driver::BhCtx {
 Driver::Driver(Node& node, OmxConfig config)
     : node_(node), config_(config), regcache_(config.regcache) {
   node_.nic().set_rx_callback([this](net::Skbuff skb) { rx(std::move(skb)); });
+  // Intern the hot trace-event names and counter keys once; the per-packet
+  // and per-descriptor paths below then touch no string-keyed containers.
+  auto& tr = node_.engine().trace();
+  tid_wire_tx_ = tr.intern_event("wire.tx");
+  tid_pull_start_ = tr.intern_event("pull.start");
+  tid_pull_done_ = tr.intern_event("pull.done");
+  c_pulls_started_ = &counters_.counter("driver.pulls_started");
+  c_pulls_finished_ = &counters_.counter("driver.pulls_finished");
+  c_pull_reqs_ = &counters_.counter("driver.pull_reqs");
+  c_pull_replies_ = &counters_.counter("driver.pull_replies");
+  c_large_ioat_bytes_ = &counters_.counter("driver.large_ioat_bytes");
+  c_large_memcpy_bytes_ = &counters_.counter("driver.large_memcpy_bytes");
+  c_medium_overlap_bytes_ = &counters_.counter("driver.medium_overlap_bytes");
+  c_medium_ioat_bytes_ = &counters_.counter("driver.medium_ioat_bytes");
+  c_eager_sent_ = &counters_.counter("driver.eager_sent");
+  c_nacks_sent_ = &counters_.counter("driver.nacks_sent");
+  c_cleanup_runs_ = &counters_.counter("driver.cleanup_runs");
+  h_pull_ns_ = &counters_.histogram("driver.pull_ns");
   if (config_.autotune_thresholds) autotune_thresholds();
 }
 
@@ -57,13 +75,15 @@ void Driver::transmit(Addr src_ep_addr, Addr dst, std::shared_ptr<OmxPkt> pkt,
                       std::size_t data_bytes) {
   pkt->src_ep = src_ep_addr.endpoint;
   pkt->dst_ep = dst.endpoint;
-  auto& tr = node_.engine().trace();
-  if (tr.enabled())
-    tr.record(node_.engine().now(), node_.id(), "wire.tx",
-              std::string(pkt_name(pkt->type)) + " -> n" +
-                  std::to_string(dst.node) + ":" +
-                  std::to_string(dst.endpoint) + " (" +
-                  std::to_string(data_bytes) + "B)");
+  // Typed fast path: no string is built per frame; a0 packs the packet
+  // type and destination address, a1 carries the payload size.
+  node_.engine().trace().event(
+      node_.engine().now(), node_.id(), tid_wire_tx_,
+      (static_cast<std::uint64_t>(pkt->type) << 32) |
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(dst.node))
+           << 16) |
+          dst.endpoint,
+      data_bytes);
   net::Frame f;
   f.src_node = node_.id();
   f.dst_node = dst.node;
@@ -167,7 +187,7 @@ void Driver::cmd_send_eager(DriverEndpoint& ep, const SegList& segs,
   auto it = eager_tx_.emplace(seq, std::move(tx)).first;
 
   send_eager_frags(it->second);
-  counters_.add("driver.eager_sent");
+  c_eager_sent_->add();
   arm_eager_timer(seq);
 }
 
@@ -404,6 +424,7 @@ void Driver::cmd_pull(DriverEndpoint& ep, const SegList& segs, Addr src,
   h.msg_seq = msg_seq;
   h.request_id = request_id;
   h.frag_count = frag_count_for(len, config_.frag_payload);
+  h.started_at = node_.engine().now();
   h.got.assign(h.frag_count, false);
   h.blocks_total = static_cast<std::uint32_t>(
       (h.frag_count + config_.pull_block_frags - 1) /
@@ -413,15 +434,14 @@ void Driver::cmd_pull(DriverEndpoint& ep, const SegList& segs, Addr src,
     for (int i = 0; i < nch; ++i) h.channels.push_back(node_.ioat().pick_channel());
   }
   pulls_.emplace(handle, std::move(ph));
-  counters_.add("driver.pulls_started");
-  {
-    auto& tr = node_.engine().trace();
-    if (tr.enabled())
-      tr.record(node_.engine().now(), node_.id(), "pull.start",
-                "handle " + std::to_string(handle) + ", " +
-                    std::to_string(len) + "B, " +
-                    std::to_string(h.frag_count) + " frags");
-  }
+  c_pulls_started_->add();
+  node_.engine().trace().event(node_.engine().now(), node_.id(),
+                               tid_pull_start_, handle, len);
+  // Open the message-lifecycle span: the pull command is the earliest
+  // receive-side stamp a waterfall can anchor on.
+  auto& spans = node_.engine().spans();
+  if (spans.enabled())
+    spans.begin(obs::span_key(node_.id(), handle), node_.id(), len);
 
   const int outstanding =
       std::min<int>(config_.pull_blocks_outstanding,
@@ -439,7 +459,7 @@ void Driver::send_pull_req(PullHandle& h, std::uint32_t block) {
       std::min<std::size_t>(static_cast<std::size_t>(config_.pull_block_frags),
                             h.frag_count - pkt->frag_start));
   transmit(h.ep->addr(), h.src, std::move(pkt), 0);
-  counters_.add("driver.pull_reqs");
+  c_pull_reqs_->add();
 }
 
 void Driver::arm_rndv_timer(std::uint32_t handle) {
@@ -556,7 +576,7 @@ void Driver::arm_block_timer(PullHandle& h) {
 
 void Driver::cleanup_pull(PullHandle& h) {
   if (h.pending.empty()) return;
-  counters_.add("driver.cleanup_runs");
+  c_cleanup_runs_->add();
   for (int chan : h.channels) {
     const std::uint64_t done = node_.ioat().completed(chan);
     auto it = h.pending.begin();
@@ -578,6 +598,19 @@ void Driver::cleanup_pull(PullHandle& h) {
 void Driver::rx(net::Skbuff skb) {
   const int core = node_.nic().bh_core();
   auto shared = std::make_shared<net::Skbuff>(std::move(skb));
+  // Span stamp: the frame is in host memory now; everything after this is
+  // host-side latency.  Only pull replies belong to a tracked message, and
+  // the whole block is skipped unless spans were explicitly enabled.
+  auto& spans = node_.engine().spans();
+  if (spans.enabled()) {
+    const auto* pkt = dynamic_cast<const OmxPkt*>(shared->payload());
+    if (pkt && pkt->type == PktType::PullReply) {
+      const auto& pr = static_cast<const PullReplyPkt&>(*pkt);
+      if (pulls_.count(pr.dst_handle))
+        spans.mark(obs::span_key(node_.id(), pr.dst_handle),
+                   obs::Phase::WireArrival, node_.engine().now());
+    }
+  }
   node_.machine().submit(
       core, cpu::Cat::BottomHalf, [this, shared]() -> cpu::TaskResult {
         BhCtx ctx;
@@ -614,7 +647,7 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
     auto nack = std::make_shared<NackPkt>();
     nack->msg_seq = pkt.msg_seq;
     const Addr self{node_.id(), pkt.dst_ep};
-    counters_.add("driver.nacks_sent");
+    c_nacks_sent_->add();
     ctx.effect([this, self, src, nack] { transmit(self, src, nack, 0); });
     return;
   }
@@ -672,7 +705,7 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
     ctx.cost += ioat.submit_cost(dma::IoatEngine::chunk_count(n, kPage));
     rxs.pending.emplace_back(skb, cookie);
     rxs.held.push_back(std::move(ev));
-    counters_.add("driver.medium_overlap_bytes", n);
+    c_medium_overlap_bytes_->add(n);
   } else if (!config_.ignore_bh_copy && !config_.native_mx && n > 0) {
     if (config_.ioat_medium && n >= config_.ioat_min_frag) {
       auto& ioat = node_.ioat();
@@ -683,7 +716,7 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
           sim::duration_for_bytes(n, ioat.params().engine_bw);
       // Synchronous: submit, then busy-poll until the copy completed.
       ctx.cost += submit + engine_time + ioat.poll_cost();
-      counters_.add("driver.medium_ioat_bytes", n);
+      c_medium_ioat_bytes_->add(n);
       ev.data = pkt.data;
     } else {
       ctx.cost += sim::duration_for_bytes(n, costs.ring_copy_bw);
@@ -745,7 +778,7 @@ void Driver::bh_rndv(BhCtx& ctx, net::Skbuff& skb) {
     nack->msg_seq = pkt.msg_seq;
     nack->src_handle = pkt.src_handle;
     const Addr self{node_.id(), pkt.dst_ep};
-    counters_.add("driver.nacks_sent");
+    c_nacks_sent_->add();
     ctx.effect([this, self, src, nack] { transmit(self, src, nack, 0); });
     return;
   }
@@ -828,7 +861,7 @@ void Driver::bh_pull_req(BhCtx& ctx, net::Skbuff& skb) {
       rep->data.resize(n);
       segs.read(off, rep->data.data(), n);
       transmit(ep_addr, dst, std::move(rep), n);
-      counters_.add("driver.pull_replies");
+      c_pull_replies_->add();
     }
   });
 }
@@ -844,6 +877,18 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
   if (pkt.frag_idx >= h.frag_count || h.got[pkt.frag_idx]) return;
   h.got[pkt.frag_idx] = true;
   ++h.received;
+
+  auto& spans = node_.engine().spans();
+  const std::uint64_t skey = obs::span_key(node_.id(), h.handle);
+  if (spans.enabled()) {
+    // first=entry of the first fragment's handler, last=end of this one
+    // (the deferred mark runs when the charged core time has elapsed).
+    spans.mark(skey, obs::Phase::BottomHalf, node_.engine().now());
+    ctx.effect([this, skey] {
+      node_.engine().spans().mark(skey, obs::Phase::BottomHalf,
+                                  node_.engine().now());
+    });
+  }
 
   const std::size_t n = pkt.data.size();
   const std::size_t dst_off = pkt.offset;
@@ -882,6 +927,13 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
         src_off += len;
       });
       ctx.cost += ioat.submit_cost(nchunks);
+      if (spans.enabled()) {
+        spans.mark(skey, obs::Phase::IoatSubmit, node_.engine().now());
+        // The channel is a FIFO, so this fragment's completion instant is
+        // already known deterministically.
+        spans.mark(skey, obs::Phase::DmaComplete,
+                   ioat.cookie_done_time(chan, cookie));
+      }
       if (config_.ioat_large_sync) {
         // Ablation: no overlap — busy-poll this fragment's completion
         // before releasing the core (what Figure 6 shows the paper's
@@ -892,20 +944,26 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
         ctx.cost += ioat.poll_cost();
       }
       h.pending.push_back(PendingSkb{skb, chan, cookie});
-      counters_.add("driver.large_ioat_bytes", n);
+      c_large_ioat_bytes_->add(n);
     } else {
       ctx.cost += bh_copy_cost(n, h.segs.min_piece(dst_off, n));
       net::Skbuff skb_copy = skb;
       const SegList segs = h.segs;
-      ctx.effect([segs, dst_off, src_bytes, n, skb_copy, this,
-                  bh_core]() mutable {
+      const bool span_on = spans.enabled();
+      ctx.effect([segs, dst_off, src_bytes, n, skb_copy, this, bh_core,
+                  span_on, skey]() mutable {
         segs.write(dst_off, src_bytes, n);
         segs.for_pieces(dst_off, n, [&](std::uint8_t* dp, std::size_t len) {
           node_.cache_for_core(bh_core).touch(dp, len);
         });
         skb_copy.release();
+        // CPU copy lands the data now; on the offload path CopyOut is the
+        // library-side drain, stamped in finish_pull instead.
+        if (span_on)
+          node_.engine().spans().mark(skey, obs::Phase::CopyOut,
+                                      node_.engine().now());
       });
-      counters_.add("driver.large_memcpy_bytes", n);
+      c_large_memcpy_bytes_->add(n);
     }
   } else if (n > 0) {
     // Prediction mode / native MX: the data is placed without CPU cost.
@@ -964,6 +1022,8 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
   // The last fragment's callback waits for the completion of every
   // outstanding asynchronous copy of this message (Section III-A), then
   // reports the single completion event to user-space.
+  auto& spans = node_.engine().spans();
+  const std::uint64_t skey = obs::span_key(node_.id(), h.handle);
   if (!h.pending.empty()) {
     auto& ioat = node_.ioat();
     sim::Time drain = node_.engine().now();
@@ -973,11 +1033,14 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
     if (drain > busy_until) ctx.cost += drain - busy_until;
     ctx.cost += ioat.poll_cost() * static_cast<sim::Time>(h.channels.size());
     counters_.add("driver.drain_waits");
+    // Offload path: the message data is fully in place once the slowest
+    // channel drained — that instant is the copy-out point.
+    if (spans.enabled()) spans.mark(skey, obs::Phase::CopyOut, drain);
   }
   ctx.cost += config_.native_mx ? 0 : costs.bh_ack_ns;
 
   const std::uint32_t handle = h.handle;
-  ctx.effect([this, handle] {
+  ctx.effect([this, handle, skey] {
     auto it = pulls_.find(handle);
     if (it == pulls_.end()) return;
     PullHandle& p = *it->second;
@@ -996,17 +1059,24 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
     ev.msg_seq = p.msg_seq;
     ev.msg_len = static_cast<std::uint32_t>(p.len);
     ev.request_id = p.request_id;
+    // Lets the library stamp the Notify phase when it dequeues the event.
+    ev.local_handle = p.handle;
     push_event(*p.ep, std::move(ev));
 
     auto ack = std::make_shared<LargeAckPkt>();
     ack->src_handle = p.src_handle;
     ack->msg_seq = p.msg_seq;
     transmit(p.ep->addr(), p.src, std::move(ack), 0);
-    counters_.add("driver.pulls_finished");
-    auto& tr = node_.engine().trace();
-    if (tr.enabled())
-      tr.record(node_.engine().now(), node_.id(), "pull.done",
-                "handle " + std::to_string(handle));
+    c_pulls_finished_->add();
+    node_.engine().trace().event(node_.engine().now(), node_.id(),
+                                 tid_pull_done_, handle, p.len);
+    h_pull_ns_->add(
+        static_cast<std::uint64_t>(node_.engine().now() - p.started_at));
+    auto& sp = node_.engine().spans();
+    if (sp.enabled())
+      // Driver-side notification; the library marks it again (later) when
+      // the event ring is actually drained.
+      sp.mark(skey, obs::Phase::Notify, node_.engine().now());
     pulls_.erase(it);
   });
 }

@@ -15,6 +15,9 @@
 #include "core/wire.hpp"
 #include "cpu/machine.hpp"
 #include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "sim/sim_thread.hpp"
 #include "sim/stats.hpp"
 #include "mem/pinning.hpp"
@@ -222,6 +225,7 @@ class Driver {
     std::size_t head_copied = 0;      // cache_warm_head bytes done via memcpy
     int retries = 0;
     std::size_t last_progress = 0;    // received count at last timer fire
+    sim::Time started_at = 0;         // cmd_pull time, for the latency hist
     sim::Time last_block_done = 0;    // when the previous block completed
     sim::Time srtt = 0;               // smoothed block service time
     sim::EventHandle block_timer;
@@ -262,6 +266,30 @@ class Driver {
   OmxConfig config_;
   mem::RegCache regcache_;
   sim::Counters counters_;
+
+  // Typed trace-event ids, interned once at construction; the hot paths
+  // below then emit fixed-size records without building strings.
+  obs::EventId tid_wire_tx_{};
+  obs::EventId tid_pull_start_{};
+  obs::EventId tid_pull_done_{};
+
+  // Hot-path counter handles (one interning at construction, plain
+  // increments afterwards; ISSUE: no string-keyed map lookups on the
+  // descriptor-submit or packet-dispatch paths).
+  obs::Counter* c_pulls_started_ = nullptr;
+  obs::Counter* c_pulls_finished_ = nullptr;
+  obs::Counter* c_pull_reqs_ = nullptr;
+  obs::Counter* c_pull_replies_ = nullptr;
+  obs::Counter* c_large_ioat_bytes_ = nullptr;
+  obs::Counter* c_large_memcpy_bytes_ = nullptr;
+  obs::Counter* c_medium_overlap_bytes_ = nullptr;
+  obs::Counter* c_medium_ioat_bytes_ = nullptr;
+  obs::Counter* c_eager_sent_ = nullptr;
+  obs::Counter* c_nacks_sent_ = nullptr;
+  obs::Counter* c_cleanup_runs_ = nullptr;
+
+  // Per-message pull latency histogram (ns), fed on finish_pull.
+  obs::Histogram* h_pull_ns_ = nullptr;
 
   std::map<std::uint16_t, std::unique_ptr<DriverEndpoint>> endpoints_;
   std::map<std::uint32_t, SendRegion> send_regions_;

@@ -342,6 +342,13 @@ void Endpoint::handle_event(Event& ev) {
         it->second->failed = ev.failed;
         it->second->done = true;
       }
+      // Close the message-lifecycle span: the library has now actually
+      // observed the completion (last Notify stamp; the driver stamped
+      // the first when it pushed the event).
+      auto& spans = proc_.node().engine().spans();
+      if (spans.enabled() && ev.local_handle)
+        spans.mark(obs::span_key(proc_.node().id(), ev.local_handle),
+                   obs::Phase::Notify, proc_.now());
       break;
     }
     case EvType::SendDone: {

@@ -18,6 +18,10 @@ Node::Node(sim::Engine& engine, net::Network& network, int id,
       // than the (default) application core 0, as in the paper's runs
       // where the bottom half saturates its own core.
       nic_(engine, machine_, bus_, id, /*bh_core=*/1) {
+  // Give this node its own block of utilization-timeline tracks (one per
+  // core, one per DMA channel) so multi-node traces do not collide.
+  machine_.set_track_base(obs::cpu_track(id, 0));
+  ioat_.set_track_base(obs::dma_track(id, 0));
   network_.attach(nic_);
   driver_ = std::make_unique<Driver>(*this, config);
 }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "sim/engine.hpp"
 #include "sim/sim_thread.hpp"
 #include "sim/time.hpp"
@@ -26,6 +27,14 @@ enum class Cat : std::uint8_t {
 };
 
 inline constexpr std::size_t kNumCats = static_cast<std::size_t>(Cat::kCount);
+
+// The utilization timeline encodes these categories as raw bytes; keep
+// the two enumerations aligned.
+static_assert(static_cast<std::uint8_t>(Cat::App) == obs::kCatApp);
+static_assert(static_cast<std::uint8_t>(Cat::UserLib) == obs::kCatUserLib);
+static_assert(static_cast<std::uint8_t>(Cat::DriverSyscall) == obs::kCatDriver);
+static_assert(static_cast<std::uint8_t>(Cat::BottomHalf) ==
+              obs::kCatBottomHalf);
 
 inline const char* cat_name(Cat c) {
   switch (c) {
@@ -68,6 +77,12 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  /// First timeline track of this machine's cores (obs::cpu_track of the
+  /// owning node); set by Node so multi-node timelines do not collide.
+  void set_track_base(int base) { track_base_ = base; }
+  [[nodiscard]] int track_base() const { return track_base_; }
+
   [[nodiscard]] static int socket_of(int core) {
     return core / (kSubchipsPerSocket * kCoresPerSubchip);
   }
@@ -164,6 +179,9 @@ class Machine {
     c.queue.pop_front();
     TaskResult r = item.work();
     c.busy[static_cast<std::size_t>(item.cat)] += r.cost;
+    engine_.timeline().record(track_base_ + core,
+                              static_cast<std::uint8_t>(item.cat),
+                              engine_.now(), r.cost);
     engine_.schedule(r.cost, [this, core, done = std::move(r.done)] {
       if (done) done();
       start_next(core);
@@ -172,6 +190,7 @@ class Machine {
 
   sim::Engine& engine_;
   std::vector<Core> cores_;
+  int track_base_ = 0;
 };
 
 }  // namespace openmx::cpu

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -47,6 +49,10 @@ class IoatEngine {
       : engine_(engine), params_(params), channels_(params.num_channels) {
     if (params.num_channels <= 0)
       throw std::invalid_argument("IoatEngine: need at least one channel");
+    // Counter handles are interned once; submit() then pays a plain add
+    // per descriptor instead of a string-keyed map lookup.
+    c_descriptors_ = &counters_.counter("ioat.descriptors");
+    c_bytes_ = &counters_.counter("ioat.bytes");
   }
 
   IoatEngine(const IoatEngine&) = delete;
@@ -86,8 +92,10 @@ class IoatEngine {
         start + params_.desc_startup_ns + sim::duration_for_bytes(len, bw);
     c.free_at = done;
     c.inflight.push_back(Desc{src, dst, len, cookie, done});
-    counters_.add("ioat.descriptors");
-    counters_.add("ioat.bytes", len);
+    c_descriptors_->add();
+    c_bytes_->add(len);
+    engine_.timeline().record(track_base_ + chan, obs::kCatDma, start,
+                              done - start);
     engine_.schedule_at(done, [this, chan] { complete_next(chan); });
     return cookie;
   }
@@ -150,6 +158,11 @@ class IoatEngine {
 
   [[nodiscard]] const sim::Counters& counters() const { return counters_; }
 
+  /// First timeline track of this engine's channels (obs::dma_track of
+  /// the owning node); set by Node so multi-node timelines do not collide.
+  void set_track_base(int base) { track_base_ = base; }
+  [[nodiscard]] int track_base() const { return track_base_; }
+
  private:
   struct Desc {
     const std::uint8_t* src;
@@ -190,6 +203,9 @@ class IoatEngine {
   std::vector<Channel> channels_;
   int rr_next_ = 0;
   sim::Counters counters_;
+  obs::Counter* c_descriptors_ = nullptr;
+  obs::Counter* c_bytes_ = nullptr;
+  int track_base_ = obs::dma_track(0, 0);
 };
 
 }  // namespace openmx::dma

@@ -31,23 +31,27 @@ struct PinModel {
 /// test wants cold-start behaviour.
 class RegCache {
  public:
-  explicit RegCache(bool enabled) : enabled_(enabled) {}
+  explicit RegCache(bool enabled) : enabled_(enabled) {
+    c_hit_ = &counters_.counter("regcache.hit");
+    c_miss_ = &counters_.counter("regcache.miss");
+    c_bypass_ = &counters_.counter("regcache.bypass");
+  }
 
   /// Returns true if [addr, addr+len) is already registered (cache hit,
   /// pinning cost avoided).  On miss the region is recorded as pinned.
   bool lookup_or_insert(const void* addr, std::size_t len) {
     if (!enabled_) {
-      counters_.add("regcache.bypass");
+      c_bypass_->add();
       return false;
     }
     const Key k{reinterpret_cast<std::uintptr_t>(addr), len};
     auto [it, inserted] = regions_.insert({k, 1});
     if (!inserted) {
       ++it->second;
-      counters_.add("regcache.hit");
+      c_hit_->add();
       return true;
     }
-    counters_.add("regcache.miss");
+    c_miss_->add();
     return false;
   }
 
@@ -75,6 +79,9 @@ class RegCache {
   bool enabled_;
   std::map<Key, std::uint64_t> regions_;
   sim::Counters counters_;
+  obs::Counter* c_hit_ = nullptr;
+  obs::Counter* c_miss_ = nullptr;
+  obs::Counter* c_bypass_ = nullptr;
 };
 
 }  // namespace openmx::mem

@@ -116,7 +116,12 @@ class Nic {
         machine_(machine),
         bus_(bus),
         node_id_(node_id),
-        bh_core_(bh_core) {}
+        bh_core_(bh_core) {
+    // Interned once: deliver() runs per frame and must not do map lookups.
+    c_rx_frames_ = &counters_.counter("nic.rx_frames");
+    c_rx_bytes_ = &counters_.counter("nic.rx_bytes");
+    c_ring_drops_ = &counters_.counter("nic.rx_ring_drops");
+  }
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -136,12 +141,12 @@ class Nic {
   /// host memory, then schedule the interrupt bottom half.
   void deliver(const Frame& frame, const NetParams& params) {
     if (ring_in_use_ >= params.rx_ring_slots) {
-      counters_.add("nic.rx_ring_drops");
+      c_ring_drops_->add();
       return;
     }
     ++ring_in_use_;
-    counters_.add("nic.rx_frames");
-    counters_.add("nic.rx_bytes", frame.wire_bytes);
+    c_rx_frames_->add();
+    c_rx_bytes_->add(frame.wire_bytes);
     auto state = std::make_shared<Skbuff::State>();
     state->frame = frame;
     state->on_free = [this] { --ring_in_use_; };
@@ -161,6 +166,9 @@ class Nic {
   RxCallback rx_cb_;
   std::size_t ring_in_use_ = 0;
   sim::Counters counters_;
+  obs::Counter* c_rx_frames_ = nullptr;
+  obs::Counter* c_rx_bytes_ = nullptr;
+  obs::Counter* c_ring_drops_ = nullptr;
 };
 
 /// The cable(s): point-to-point full-duplex links between every pair of
@@ -169,7 +177,10 @@ class Nic {
 class Network {
  public:
   Network(sim::Engine& engine, NetParams params = {})
-      : engine_(engine), params_(params), rng_(params.loss_seed) {}
+      : engine_(engine), params_(params), rng_(params.loss_seed) {
+    c_tx_frames_ = &counters_.counter("net.tx_frames");
+    c_dropped_ = &counters_.counter("net.dropped_frames");
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -198,14 +209,14 @@ class Network {
         !nics_[dst])
       throw std::logic_error("Network: unattached node");
 
-    counters_.add("net.tx_frames");
+    c_tx_frames_->add();
     const sim::Time ser = sim::duration_for_bytes(
         frame.wire_bytes + params_.frame_overhead, params_.wire_bw);
     const sim::Time tx_start = std::max(engine_.now(), tx_free_[src]);
     tx_free_[src] = tx_start + ser;
 
     if (params_.loss_prob > 0.0 && rng_.chance(params_.loss_prob)) {
-      counters_.add("net.dropped_frames");
+      c_dropped_->add();
       return;
     }
 
@@ -241,6 +252,8 @@ class Network {
   std::vector<sim::Time> tx_free_;
   std::vector<sim::Time> rx_free_;
   sim::Counters counters_;
+  obs::Counter* c_tx_frames_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
 };
 
 }  // namespace openmx::net

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace openmx::obs {
+
+// Track numbering: each simulated node owns a block of kTracksPerNode
+// consecutive tracks — CPU cores at the base, DMA channels at
+// kDmaTrackOffset, exporter-synthesized tracks (span waterfalls) above
+// kSpanTrackOffset.  Components are handed their base track at node
+// construction; default-constructed components (unit tests) use node 0's.
+inline constexpr int kTracksPerNode = 64;
+inline constexpr int kDmaTrackOffset = 32;
+inline constexpr int kSpanTrackOffset = 48;
+
+[[nodiscard]] constexpr int cpu_track(int node, int core) {
+  return node * kTracksPerNode + core;
+}
+[[nodiscard]] constexpr int dma_track(int node, int chan) {
+  return node * kTracksPerNode + kDmaTrackOffset + chan;
+}
+[[nodiscard]] constexpr int track_node(int track) {
+  return track / kTracksPerNode;
+}
+[[nodiscard]] constexpr int track_local(int track) {
+  return track % kTracksPerNode;
+}
+[[nodiscard]] constexpr bool track_is_dma(int track) {
+  return track_local(track) >= kDmaTrackOffset &&
+         track_local(track) < kSpanTrackOffset;
+}
+
+// Slice categories.  0..3 mirror cpu::Cat (asserted in cpu/machine.hpp so
+// the two never drift); kCatDma marks DMA-channel slices.
+inline constexpr std::uint8_t kCatApp = 0;
+inline constexpr std::uint8_t kCatUserLib = 1;
+inline constexpr std::uint8_t kCatDriver = 2;
+inline constexpr std::uint8_t kCatBottomHalf = 3;
+inline constexpr std::uint8_t kCatDma = 0xFF;
+
+[[nodiscard]] inline const char* slice_cat_name(std::uint8_t cat) {
+  switch (cat) {
+    case kCatApp: return "app";
+    case kCatUserLib: return "user-library";
+    case kCatDriver: return "driver";
+    case kCatBottomHalf: return "bottom-half";
+    case kCatDma: return "dma-copy";
+    default: return "?";
+  }
+}
+
+/// One busy interval of a core or DMA channel.
+struct Slice {
+  std::int32_t track = 0;
+  std::uint8_t cat = 0;
+  sim::Time start = 0;
+  sim::Time dur = 0;
+};
+
+/// Utilization timeline: the busy intervals of every core and DMA
+/// channel, recorded in dispatch order (deterministic).  Disabled by
+/// default; when disabled, record() is a single branch.
+///
+/// This is the telemetry behind the Figure 9 CPU-usage breakdown: the
+/// receive-side busy fraction per category over a measurement window is
+/// busy_in_window() / window, replacing bespoke busy-counter deltas in
+/// bench code.
+class Timeline {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(int track, std::uint8_t cat, sim::Time start, sim::Time dur) {
+    if (!enabled_ || dur <= 0) return;
+    slices_.push_back(Slice{track, cat, start, dur});
+  }
+
+  [[nodiscard]] const std::vector<Slice>& slices() const { return slices_; }
+  [[nodiscard]] std::size_t size() const { return slices_.size(); }
+  void clear() { slices_.clear(); }
+
+  /// Total busy time of category `cat` on `node`'s CPU tracks, clipped to
+  /// the window [t0, t1).
+  [[nodiscard]] sim::Time busy_in_window(int node, std::uint8_t cat,
+                                         sim::Time t0, sim::Time t1) const {
+    sim::Time sum = 0;
+    for (const Slice& s : slices_) {
+      if (s.cat != cat || track_node(s.track) != node) continue;
+      sum += clip(s, t0, t1);
+    }
+    return sum;
+  }
+
+  /// Total DMA-channel busy time on `node`, clipped to [t0, t1).
+  [[nodiscard]] sim::Time dma_busy_in_window(int node, sim::Time t0,
+                                             sim::Time t1) const {
+    sim::Time sum = 0;
+    for (const Slice& s : slices_) {
+      if (!track_is_dma(s.track) || track_node(s.track) != node) continue;
+      sum += clip(s, t0, t1);
+    }
+    return sum;
+  }
+
+  /// Unclipped busy total of one (track, cat) pair; equals the machine's
+  /// own busy-time accounting when the timeline was enabled for the whole
+  /// run (asserted by the fig09 regression test).
+  [[nodiscard]] sim::Time busy_total(int track, std::uint8_t cat) const {
+    sim::Time sum = 0;
+    for (const Slice& s : slices_)
+      if (s.track == track && s.cat == cat) sum += s.dur;
+    return sum;
+  }
+
+ private:
+  [[nodiscard]] static sim::Time clip(const Slice& s, sim::Time t0,
+                                      sim::Time t1) {
+    const sim::Time lo = std::max(s.start, t0);
+    const sim::Time hi = std::min(s.start + s.dur, t1);
+    return hi > lo ? hi - lo : 0;
+  }
+
+  bool enabled_ = false;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace openmx::obs

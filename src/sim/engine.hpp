@@ -6,6 +6,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "sim/event_slab.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
@@ -173,6 +175,13 @@ class Engine {
   /// (disabled by default; see sim::Trace).
   [[nodiscard]] Trace& trace() { return trace_; }
 
+  /// Message-lifecycle spans (disabled by default; see obs::SpanTable).
+  [[nodiscard]] obs::SpanTable& spans() { return spans_; }
+
+  /// Core/DMA utilization timeline (disabled by default; see
+  /// obs::Timeline).
+  [[nodiscard]] obs::Timeline& timeline() { return timeline_; }
+
  private:
   friend class EventHandle;
 
@@ -250,6 +259,8 @@ class Engine {
   EventHeap heap_;
   std::unique_ptr<TimerWheel> wheel_;
   Trace trace_;
+  obs::SpanTable spans_;
+  obs::Timeline timeline_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;

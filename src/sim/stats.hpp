@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <map>
-#include <string>
 
+#include "obs/registry.hpp"
 #include "sim/time.hpp"
 
 namespace openmx::sim {
@@ -50,30 +49,10 @@ class Summary {
 
 /// Named monotonically increasing counters (packets sent, retransmits,
 /// descriptors submitted, cache hits...).  Cheap enough to leave enabled.
-class Counters {
- public:
-  void add(const std::string& name, std::uint64_t delta = 1) {
-    values_[name] += delta;
-  }
-
-  [[nodiscard]] std::uint64_t get(const std::string& name) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? 0 : it->second;
-  }
-
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
-    return values_;
-  }
-
-  /// Adds every counter of `o` into this one (sweep result merging).
-  void merge(const Counters& o) {
-    for (const auto& [name, value] : o.values_) values_[name] += value;
-  }
-
-  void reset() { values_.clear(); }
-
- private:
-  std::map<std::string, std::uint64_t> values_;
-};
+///
+/// Now an alias for obs::Registry: same string add()/get()/merge()/reset()
+/// API, plus interned counter()/histogram() handles so hot paths pay a
+/// single add instead of a map lookup per event (see obs/registry.hpp).
+using Counters = obs::Registry;
 
 }  // namespace openmx::sim

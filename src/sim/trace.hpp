@@ -1,32 +1,50 @@
 #pragma once
 
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
-#include <functional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace openmx::sim {
 
-/// One record in the event trace.
+/// One record in the event trace, reconstructed with strings for
+/// inspection.  The stored form is the 32-byte POD obs::TraceEvent; this
+/// struct only exists at snapshot() time.
 struct TraceRecord {
   Time when = 0;
   int node = -1;
-  std::string category;  // "wire", "bh", "ioat", "lib", ...
+  std::string category;  // "wire.tx", "pull.start", ...
   std::string message;
 };
 
 /// A bounded in-memory trace of simulation events.
 ///
-/// Disabled by default (a disabled trace is a branch on a bool); tests
-/// and debugging sessions enable it to assert on protocol timelines or
-/// dump them.  The buffer is a ring: when full, the oldest records are
+/// Compatibility shim over the typed obs:: trace machinery: records are
+/// fixed-size PODs carrying interned name ids and two u64 arguments — no
+/// std::string ever touches the record path.  The classic string API
+/// (record(), snapshot(), count()) survives on top of it:
+///  - record(category, message) interns both strings;
+///  - record(category, lazy) only invokes the message-building callable
+///    when the record will actually be stored;
+///  - intern_event()/event() is the zero-allocation fast path used by
+///    hot call sites (wire tx, pull lifecycle);
+///  - OMX_TRACEF never evaluates its arguments when tracing is off.
+///
+/// Disabled is the default, and a disabled trace is one branch per call
+/// site.  The buffer is a ring: when full, the oldest records are
 /// dropped, so long experiments keep their tail.
 class Trace {
  public:
-  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+  explicit Trace(std::size_t capacity = 1 << 16) : buf_(capacity) {}
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
 
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
@@ -34,48 +52,99 @@ class Trace {
   /// Restrict recording to one category prefix (empty = everything).
   void set_filter(std::string prefix) { filter_ = std::move(prefix); }
 
-  void record(Time when, int node, std::string category,
-              std::string message) {
-    if (!enabled_) return;
-    if (!filter_.empty() &&
-        category.compare(0, filter_.size(), filter_) != 0)
-      return;
-    if (records_.size() == capacity_) {
-      records_[head_] = TraceRecord{when, node, std::move(category),
-                                    std::move(message)};
-      head_ = (head_ + 1) % capacity_;
-      ++dropped_;
-      return;
-    }
-    records_.push_back(
-        TraceRecord{when, node, std::move(category), std::move(message)});
+  /// Pre-interns an event name; the returned id makes event() a pure POD
+  /// store.  Call once per site (component constructors).
+  [[nodiscard]] obs::EventId intern_event(std::string_view name) {
+    const std::uint32_t id = events_.intern(name);
+    return obs::EventId{static_cast<std::uint16_t>(id), obs::classify(name)};
   }
 
-  /// Records in chronological order.
+  /// Typed fast path: no strings, no allocation; a0/a1 are free-form
+  /// event arguments (byte counts, handles, packed addresses).
+  void event(Time when, int node, obs::EventId id, std::uint64_t a0 = 0,
+             std::uint64_t a1 = 0) {
+    if (!enabled_ || !pass(events_.name(id.id))) return;
+    obs::TraceEvent e;
+    e.when = when;
+    e.node = node;
+    e.cat = id.cat;
+    e.id = id.id;
+    e.a0 = a0;
+    e.a1 = a1;
+    buf_.push(e);
+  }
+
+  /// String-compatibility path: both strings are interned (identical
+  /// strings are stored once).
+  void record(Time when, int node, std::string_view category,
+              std::string_view message) {
+    if (!enabled_ || !pass(category)) return;
+    obs::TraceEvent e;
+    e.when = when;
+    e.node = node;
+    e.cat = obs::classify(category);
+    e.flags = obs::kMsgInterned;
+    e.id = static_cast<std::uint16_t>(events_.intern(category));
+    e.a0 = msgs_.intern(message);
+    buf_.push(e);
+  }
+
+  /// Lazy path: `lazy()` builds the message string and is only invoked
+  /// when the record passes the enabled/filter checks.
+  template <typename Fn,
+            std::enable_if_t<std::is_invocable_v<Fn&>, int> = 0>
+  void record(Time when, int node, std::string_view category, Fn&& lazy) {
+    if (!enabled_ || !pass(category)) return;
+    record(when, node, category, std::string_view(lazy()));
+  }
+
+  /// printf-style recording; see OMX_TRACEF for the call-site macro that
+  /// makes the whole call free when tracing is off.
+#if defined(__GNUC__)
+  __attribute__((format(printf, 5, 6)))
+#endif
+  void
+  recordf(Time when, int node, std::string_view category, const char* fmt,
+          ...) {
+    if (!enabled_ || !pass(category)) return;
+    char msg[192];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(msg, sizeof msg, fmt, ap);
+    va_end(ap);
+    record(when, node, category, std::string_view(msg));
+  }
+
+  /// Records in chronological order, with names/messages reconstructed.
   [[nodiscard]] std::vector<TraceRecord> snapshot() const {
     std::vector<TraceRecord> out;
-    out.reserve(records_.size());
-    for (std::size_t i = 0; i < records_.size(); ++i)
-      out.push_back(records_[(head_ + i) % records_.size()]);
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      const obs::TraceEvent& e = buf_.chrono(i);
+      out.push_back(TraceRecord{e.when, e.node, events_.name(e.id),
+                                message_of(e)});
+    }
     return out;
   }
 
   /// Number of records matching a category prefix.
-  [[nodiscard]] std::size_t count(const std::string& prefix) const {
+  [[nodiscard]] std::size_t count(std::string_view prefix) const {
     std::size_t n = 0;
-    for (const auto& r : records_)
-      if (r.category.compare(0, prefix.size(), prefix) == 0) ++n;
+    for (std::size_t i = 0; i < buf_.size(); ++i)
+      if (std::string_view(events_.name(buf_.chrono(i).id))
+              .starts_with(prefix))
+        ++n;
     return n;
   }
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return buf_.dropped(); }
 
-  void clear() {
-    records_.clear();
-    head_ = 0;
-    dropped_ = 0;
-  }
+  void clear() { buf_.clear(); }
+
+  /// Raw typed view (exporters, tests of the POD path).
+  [[nodiscard]] const obs::TraceBuffer& buffer() const { return buf_; }
+  [[nodiscard]] const obs::Interner& event_names() const { return events_; }
 
   /// Human-readable dump (for examples and debugging).
   void dump(std::FILE* out = stdout, std::size_t max_lines = 200) const {
@@ -89,12 +158,33 @@ class Trace {
   }
 
  private:
-  std::size_t capacity_;
+  [[nodiscard]] bool pass(std::string_view category) const {
+    return filter_.empty() || category.starts_with(filter_);
+  }
+
+  [[nodiscard]] std::string message_of(const obs::TraceEvent& e) const {
+    if (e.flags & obs::kMsgInterned)
+      return msgs_.name(static_cast<std::uint32_t>(e.a0));
+    if (e.a1)
+      return "a0=" + std::to_string(e.a0) + " a1=" + std::to_string(e.a1);
+    if (e.a0) return "a0=" + std::to_string(e.a0);
+    return {};
+  }
+
   bool enabled_ = false;
   std::string filter_;
-  std::vector<TraceRecord> records_;
-  std::size_t head_ = 0;
-  std::uint64_t dropped_ = 0;
+  obs::TraceBuffer buf_;
+  obs::Interner events_;  // event/category names (bounded, u16 ids)
+  obs::Interner msgs_;    // compat-path message strings
 };
 
 }  // namespace openmx::sim
+
+/// Free-when-disabled trace macro: arguments after `cat` are a printf
+/// format + values and are not evaluated unless the trace is enabled.
+#define OMX_TRACEF(tr, when, node, cat, ...)                       \
+  do {                                                             \
+    auto& omx_tracef_ref_ = (tr);                                  \
+    if (omx_tracef_ref_.enabled())                                 \
+      omx_tracef_ref_.recordf((when), (node), (cat), __VA_ARGS__); \
+  } while (0)

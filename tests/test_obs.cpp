@@ -1,0 +1,413 @@
+// Tests for the obs:: telemetry subsystem: histogram bucket math,
+// deterministic registry merge under SweepRunner, the utilization
+// timeline vs. the Machine's own busy accounting (the Fig. 9 regression
+// gate), message-lifecycle spans on a real I/OAT receive, the pinned
+// Perfetto exporter format, and the telemetry-is-free-when-off contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
+#include "sim/sweep.hpp"
+
+using namespace openmx;
+
+namespace {
+
+/// Renders `fn(FILE*)` into a string via a tmpfile, so exact output can
+/// be compared.
+template <typename Fn>
+std::string render(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  const long len = (std::fseek(f, 0, SEEK_END), std::ftell(f));
+  std::rewind(f);
+  std::string out(static_cast<std::size_t>(len), '\0');
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket layout
+// ---------------------------------------------------------------------
+
+TEST(Histogram, ExactBucketsBelowLinearMax) {
+  // Values below kLinearMax (8) land in their own bucket: no error at all
+  // for tiny samples (packet counts, small chunk counts).
+  for (std::uint64_t v = 0; v < obs::Histogram::kLinearMax; ++v) {
+    EXPECT_EQ(obs::Histogram::bucket_of(v), v);
+    EXPECT_EQ(obs::Histogram::bucket_lo(static_cast<std::uint32_t>(v)), v);
+  }
+}
+
+TEST(Histogram, LogBucketBoundaries) {
+  // Above kLinearMax each power of two splits into kSub=4 linear
+  // sub-buckets.  Pin the first few boundaries explicitly.
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 8u);
+  EXPECT_EQ(obs::Histogram::bucket_of(9), 8u);   // [8, 10) share a bucket
+  EXPECT_EQ(obs::Histogram::bucket_of(10), 9u);
+  EXPECT_EQ(obs::Histogram::bucket_of(15), 11u);
+  EXPECT_EQ(obs::Histogram::bucket_of(16), 12u);  // next power of two
+  EXPECT_EQ(obs::Histogram::bucket_of(31), 15u);
+  EXPECT_EQ(obs::Histogram::bucket_of(32), 16u);
+
+  EXPECT_EQ(obs::Histogram::bucket_lo(8), 8u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(12), 16u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(16), 32u);
+}
+
+TEST(Histogram, BucketRoundTrip) {
+  // bucket_lo is the smallest value of its bucket, and every value maps
+  // to a bucket whose lower bound does not exceed it — across the whole
+  // range, including the u64 extremes.
+  std::vector<std::uint64_t> probes = {0, 1, 7, 8, 1000, 4096, 1 << 20};
+  for (int shift = 3; shift < 64; ++shift) {
+    probes.push_back(std::uint64_t{1} << shift);
+    probes.push_back((std::uint64_t{1} << shift) - 1);
+    probes.push_back((std::uint64_t{1} << shift) + 1);
+  }
+  probes.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (std::uint64_t v : probes) {
+    const std::uint32_t b = obs::Histogram::bucket_of(v);
+    ASSERT_LT(b, obs::Histogram::kNumBuckets) << "v=" << v;
+    EXPECT_LE(obs::Histogram::bucket_lo(b), v) << "v=" << v;
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_lo(b)), b)
+        << "v=" << v;
+    if (v + 1 != 0) {  // next bucket starts above v's bucket's lower bound
+      EXPECT_GE(obs::Histogram::bucket_of(v + 1), b) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // The reported quantile is a lower bound with at most ~25% relative
+  // error: bucket_lo(bucket_of(v)) > v/2 always, and > 3v/4 for v >= 8.
+  for (std::uint64_t v = 8; v < (1u << 20); v = v * 5 / 4 + 1) {
+    const std::uint64_t lo = obs::Histogram::bucket_lo(obs::Histogram::bucket_of(v));
+    EXPECT_LE(lo, v);
+    EXPECT_GT(lo * 4, v * 3) << "v=" << v;
+  }
+}
+
+TEST(Histogram, StatsAndPercentiles) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Quantiles are deterministic lower bounds of the true quantile.
+  EXPECT_LE(h.p50(), 50u);
+  EXPECT_GE(h.p50(), 38u);  // within one log-bucket of the true median
+  EXPECT_LE(h.p99(), 99u);
+  EXPECT_GE(h.p99(), 74u);
+  // The weight argument is equivalent to repeated adds.
+  obs::Histogram w;
+  w.add(7, 100);
+  EXPECT_EQ(w.count(), 100u);
+  EXPECT_EQ(w.p50(), 7u);
+  EXPECT_EQ(w.p99(), 7u);
+}
+
+TEST(Histogram, MergeMatchesCombined) {
+  obs::Histogram a, b, both;
+  for (std::uint64_t v = 0; v < 1000; v += 3) { a.add(v); both.add(v); }
+  for (std::uint64_t v = 1; v < 50000; v += 7) { b.add(v); both.add(v); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  EXPECT_EQ(a.p50(), both.p50());
+  EXPECT_EQ(a.p90(), both.p90());
+  EXPECT_EQ(a.p99(), both.p99());
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(Registry, HandlesAreStable) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("x");
+  obs::Histogram& h = reg.histogram("h");
+  // Interning many more names must not invalidate earlier references.
+  for (int i = 0; i < 1000; ++i)
+    (void)reg.counter("filler." + std::to_string(i));
+  c.add(41);
+  c.add();
+  h.add(5);
+  EXPECT_EQ(reg.get("x"), 42u);
+  EXPECT_EQ(reg.all_histograms().at("h").count(), 1u);
+  // reset() zeroes in place: handles survive.
+  reg.reset();
+  EXPECT_EQ(c.value, 0u);
+  c.add(7);
+  EXPECT_EQ(reg.get("x"), 7u);
+}
+
+TEST(Registry, MergeIsDeterministicAcrossSweepWorkerCounts) {
+  // Each sweep job builds its own registry; folding the per-job results
+  // in index order must give bit-identical output no matter how many
+  // worker threads ran the jobs.  This is the contract bench_fig12 leans
+  // on when it merges per-point metrics from a parallel panel run.
+  const std::size_t n = 12;
+  auto job = [](std::size_t i) {
+    obs::Registry r;
+    r.add("jobs.run");
+    r.add("bytes", (i + 1) * 1000);
+    obs::Histogram& h = r.histogram("latency_ns");
+    for (std::uint64_t k = 0; k < 50; ++k)
+      h.add(sim::sweep_seed(42, i) % 100000 + k * (i + 1));
+    return r;
+  };
+
+  auto run_with = [&](unsigned threads) {
+    sim::SweepRunner runner(sim::SweepOptions{threads});
+    std::vector<obs::Registry> parts =
+        runner.map<obs::Registry>(n, job);
+    obs::Registry total;
+    for (const obs::Registry& p : parts) total.merge(p);
+    return render([&](std::FILE* f) { total.dump_json(f); });
+  };
+
+  const std::string seq = run_with(1);
+  EXPECT_EQ(seq, run_with(4));
+  EXPECT_EQ(seq, run_with(3));
+  EXPECT_NE(seq.find("\"jobs.run\": 12"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Timeline
+// ---------------------------------------------------------------------
+
+TEST(Timeline, DisabledRecordsNothing) {
+  obs::Timeline tl;
+  tl.record(0, obs::kCatDriver, 100, 50);
+  EXPECT_EQ(tl.size(), 0u);
+  tl.enable();
+  tl.record(0, obs::kCatDriver, 100, 50);
+  tl.record(0, obs::kCatDriver, 200, 0);  // zero-length: dropped
+  EXPECT_EQ(tl.size(), 1u);
+}
+
+TEST(Timeline, WindowClipping) {
+  obs::Timeline tl;
+  tl.enable();
+  // Node 0, core 0: driver slice [100, 300); bottom half [250, 400).
+  tl.record(obs::cpu_track(0, 0), obs::kCatDriver, 100, 200);
+  tl.record(obs::cpu_track(0, 1), obs::kCatBottomHalf, 250, 150);
+  // Node 0 DMA channel 2 busy [200, 600); node 1 traffic must not leak in.
+  tl.record(obs::dma_track(0, 2), obs::kCatDma, 200, 400);
+  tl.record(obs::cpu_track(1, 0), obs::kCatDriver, 0, 1000);
+
+  EXPECT_EQ(tl.busy_in_window(0, obs::kCatDriver, 0, 1000), 200);
+  EXPECT_EQ(tl.busy_in_window(0, obs::kCatDriver, 150, 250), 100);
+  EXPECT_EQ(tl.busy_in_window(0, obs::kCatDriver, 300, 1000), 0);
+  EXPECT_EQ(tl.busy_in_window(0, obs::kCatBottomHalf, 0, 260), 10);
+  EXPECT_EQ(tl.dma_busy_in_window(0, 0, 1000), 400);
+  EXPECT_EQ(tl.dma_busy_in_window(0, 500, 1000), 100);
+  EXPECT_EQ(tl.dma_busy_in_window(1, 0, 1000), 0);
+  EXPECT_EQ(tl.busy_total(obs::cpu_track(1, 0), obs::kCatDriver), 1000);
+}
+
+TEST(Timeline, TrackArithmetic) {
+  const int t = obs::dma_track(3, 1);
+  EXPECT_EQ(obs::track_node(t), 3);
+  EXPECT_EQ(obs::track_local(t), obs::kDmaTrackOffset + 1);
+  EXPECT_TRUE(obs::track_is_dma(t));
+  EXPECT_FALSE(obs::track_is_dma(obs::cpu_track(3, 7)));
+  EXPECT_EQ(obs::track_node(obs::cpu_track(2, 5)), 2);
+  EXPECT_EQ(obs::track_local(obs::cpu_track(2, 5)), 5);
+}
+
+/// The Fig. 9 regression gate: the utilization timeline and the
+/// Machine's own busy-time accounting are two views of the same
+/// dispatch, so they must agree exactly when the timeline covers the
+/// whole run.  bench_fig09 derives its CPU breakdown from the timeline;
+/// this keeps that derivation honest.
+TEST(Timeline, AgreesWithMachineBusyAccounting) {
+  bench::Cluster cluster;
+  cluster.add_nodes(2, bench::cfg_omx_ioat());
+  cluster.engine().timeline().enable();
+  bench::run_pingpong(cluster, 256 * sim::KiB, 4, /*warmup=*/1);
+
+  const obs::Timeline& tl = cluster.engine().timeline();
+  ASSERT_GT(tl.size(), 0u);
+  for (int node = 0; node < 2; ++node) {
+    const cpu::Machine& m = cluster.node(node).machine();
+    for (int core = 0; core < cpu::Machine::kNumCores; ++core) {
+      for (std::size_t c = 0; c < cpu::kNumCats; ++c) {
+        const auto cat = static_cast<cpu::Cat>(c);
+        EXPECT_EQ(tl.busy_total(obs::cpu_track(node, core),
+                                static_cast<std::uint8_t>(c)),
+                  m.busy(core, cat))
+            << "node " << node << " core " << core << " cat "
+            << cpu::cat_name(cat);
+      }
+    }
+  }
+  // And the DMA tracks saw real copy activity on the I/OAT config.
+  EXPECT_GT(tl.dma_busy_in_window(1, 0,
+                                  std::numeric_limits<sim::Time>::max()),
+            0);
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+TEST(Span, MarkKeepsFirstAndLast) {
+  obs::Span s;
+  EXPECT_FALSE(s.has(obs::Phase::BottomHalf));
+  s.mark(obs::Phase::BottomHalf, 500);
+  s.mark(obs::Phase::BottomHalf, 200);
+  s.mark(obs::Phase::BottomHalf, 900);
+  EXPECT_EQ(s.first_at(obs::Phase::BottomHalf), 200);
+  EXPECT_EQ(s.last_at(obs::Phase::BottomHalf), 900);
+  EXPECT_EQ(s.total_ns(), 700);
+  // No DMA phases marked: memcpy-path spans report zero overlap.
+  EXPECT_EQ(s.overlap_ns(), 0);
+}
+
+TEST(Span, OverlapWindowIntersection) {
+  obs::Span s;
+  s.mark(obs::Phase::WireArrival, 100);
+  s.mark(obs::Phase::WireArrival, 800);
+  s.mark(obs::Phase::BottomHalf, 150);
+  s.mark(obs::Phase::BottomHalf, 900);
+  s.mark(obs::Phase::IoatSubmit, 300);
+  s.mark(obs::Phase::DmaComplete, 1200);
+  // DMA window [300, 1200) x ingress window [100, 900) = [300, 900).
+  EXPECT_EQ(s.overlap_ns(), 600);
+}
+
+TEST(SpanTable, DisabledIsInert) {
+  obs::SpanTable t;
+  t.begin(obs::span_key(0, 1), 0, 4096);
+  t.mark(obs::span_key(0, 1), obs::Phase::Notify, 10);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find(obs::span_key(0, 1)), nullptr);
+}
+
+/// End-to-end: a real I/OAT large receive produces spans whose phases
+/// appear in protocol order with genuine DMA/ingress overlap — the
+/// quantity Figure 8 of the paper is about.
+TEST(SpanTable, IoatPingpongProducesOrderedSpansWithOverlap) {
+  bench::Cluster cluster;
+  cluster.add_nodes(2, bench::cfg_omx_ioat());
+  cluster.engine().spans().enable();
+  bench::run_pingpong(cluster, 256 * sim::KiB, 2, /*warmup=*/0);
+
+  const obs::SpanTable& spans = cluster.engine().spans();
+  ASSERT_EQ(spans.size(), 4u);  // 2 iters x 2 directions, no warmup
+  for (const auto& [key, s] : spans.all()) {
+    EXPECT_EQ(s.bytes, 256 * sim::KiB);
+    ASSERT_TRUE(s.has(obs::Phase::WireArrival));
+    ASSERT_TRUE(s.has(obs::Phase::BottomHalf));
+    ASSERT_TRUE(s.has(obs::Phase::IoatSubmit));
+    ASSERT_TRUE(s.has(obs::Phase::DmaComplete));
+    ASSERT_TRUE(s.has(obs::Phase::Notify));
+    // Protocol order of the first stamps.
+    EXPECT_LE(s.first_at(obs::Phase::WireArrival),
+              s.first_at(obs::Phase::BottomHalf));
+    EXPECT_LE(s.first_at(obs::Phase::BottomHalf),
+              s.first_at(obs::Phase::IoatSubmit));
+    EXPECT_LT(s.first_at(obs::Phase::IoatSubmit),
+              s.last_at(obs::Phase::DmaComplete));
+    EXPECT_LE(s.last_at(obs::Phase::DmaComplete),
+              s.last_at(obs::Phase::Notify));
+    // A 256 KiB receive streams many fragments: the DMA engine must have
+    // worked while later fragments were still arriving.
+    EXPECT_GT(s.overlap_ns(), 0);
+    EXPECT_LE(s.overlap_ns(), s.total_ns());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Perfetto exporter — format pin
+// ---------------------------------------------------------------------
+
+/// Golden test for the Chrome trace-event output.  If this fails because
+/// the format intentionally changed, re-generate the golden string and
+/// update tests/golden_trace.json.inc to match (and check the new output
+/// still loads at ui.perfetto.dev).
+TEST(Perfetto, GoldenFormat) {
+  obs::Timeline tl;
+  tl.enable();
+  tl.record(obs::cpu_track(0, 1), obs::kCatBottomHalf, 1000, 500);
+  tl.record(obs::dma_track(0, 0), obs::kCatDma, 1500, 2500);
+
+  obs::SpanTable spans;
+  spans.enable();
+  const std::uint64_t key = obs::span_key(0, 1);
+  spans.begin(key, 0, 4096);
+  spans.mark(key, obs::Phase::WireArrival, 1000);
+  spans.mark(key, obs::Phase::BottomHalf, 1200);
+  spans.mark(key, obs::Phase::BottomHalf, 1500);
+  spans.mark(key, obs::Phase::IoatSubmit, 1500);
+  spans.mark(key, obs::Phase::DmaComplete, 4000);
+  spans.mark(key, obs::Phase::Notify, 4200);
+
+  const std::string got = render([&](std::FILE* f) {
+    obs::write_chrome_trace(f, tl, spans, /*num_nodes=*/1);
+  });
+  const std::string want =
+#include "golden_trace.json.inc"
+      ;
+  EXPECT_EQ(got, want);
+}
+
+TEST(Perfetto, WriteFileRoundTrip) {
+  obs::Timeline tl;
+  tl.enable();
+  tl.record(obs::cpu_track(0, 0), obs::kCatDriver, 0, 100);
+  obs::SpanTable spans;
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(obs::write_chrome_trace_file(path, tl, spans, 1));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_FALSE(obs::write_chrome_trace_file("/nonexistent-dir/x.json", tl,
+                                            spans, 1));
+}
+
+// ---------------------------------------------------------------------
+// Telemetry must not perturb the simulation
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, EnablingEverythingDoesNotChangeSimTime) {
+  auto run = [](bool on) {
+    bench::Cluster cluster;
+    cluster.add_nodes(2, bench::cfg_omx_ioat());
+    if (on) {
+      cluster.engine().trace().enable();
+      cluster.engine().spans().enable();
+      cluster.engine().timeline().enable();
+    }
+    return bench::run_pingpong(cluster, sim::MiB, 2, /*warmup=*/1);
+  };
+  const sim::Time off = run(false);
+  const sim::Time on = run(true);
+  EXPECT_EQ(off, on);
+  EXPECT_GT(off, 0);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 
 namespace sim = openmx::sim;
 namespace core = openmx::core;
+namespace obs = openmx::obs;
 
 TEST(Trace, DisabledRecordsNothing) {
   sim::Trace t;
@@ -48,6 +49,93 @@ TEST(Trace, FilterByCategoryPrefix) {
   t.record(2, 0, "pull.start", "dropped");
   EXPECT_EQ(t.size(), 1u);
   EXPECT_EQ(t.count("wire"), 1u);
+}
+
+TEST(Trace, LazyMessageNotBuiltWhenDisabled) {
+  sim::Trace t;
+  int built = 0;
+  auto lazy = [&] {
+    ++built;
+    return std::string("expensive");
+  };
+  t.record(1, 0, "a", lazy);  // disabled: callable must not run
+  EXPECT_EQ(built, 0);
+  EXPECT_EQ(t.size(), 0u);
+
+  t.enable();
+  t.set_filter("wire");
+  t.record(2, 0, "pull.start", lazy);  // filtered out: still not run
+  EXPECT_EQ(built, 0);
+  t.record(3, 0, "wire.tx", lazy);  // stored: built exactly once
+  EXPECT_EQ(built, 1);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].message, "expensive");
+}
+
+TEST(Trace, TypedEventsReconstructCategoryAndArgs) {
+  sim::Trace t;
+  t.enable();
+  const obs::EventId id = t.intern_event("pull.done");
+  t.event(5, 2, id, 123, 456);
+  t.event(6, 2, id, 789);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].category, "pull.done");
+  EXPECT_EQ(snap[0].message, "a0=123 a1=456");
+  EXPECT_EQ(snap[1].message, "a0=789");
+  EXPECT_EQ(snap[1].node, 2);
+}
+
+TEST(Trace, TypedEventsHonourFilter) {
+  sim::Trace t;
+  t.enable();
+  t.set_filter("wire");
+  const obs::EventId wire = t.intern_event("wire.tx");
+  const obs::EventId pull = t.intern_event("pull.start");
+  t.event(1, 0, wire, 1);
+  t.event(2, 0, pull, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.count("wire"), 1u);
+}
+
+TEST(Trace, TracefMacroDoesNotEvaluateArgsWhenDisabled) {
+  sim::Trace t;
+  int evals = 0;
+  auto expensive = [&] {
+    ++evals;
+    return 42;
+  };
+  OMX_TRACEF(t, 1, 0, "a", "v=%d", expensive());
+  EXPECT_EQ(evals, 0);
+  EXPECT_EQ(t.size(), 0u);
+
+  t.enable();
+  OMX_TRACEF(t, 2, 0, "a", "v=%d", expensive());
+  EXPECT_EQ(evals, 1);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].message, "v=42");
+}
+
+TEST(Trace, RecordfFormats) {
+  sim::Trace t;
+  t.enable();
+  t.recordf(1, 0, "chunk", "bytes=%zu chan=%d", std::size_t{4096}, 3);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].message, "bytes=4096 chan=3");
+}
+
+TEST(Trace, InternedMessagesDedup) {
+  // The same message string recorded many times is stored once in the
+  // interner; records stay exact across the ring.
+  sim::Trace t(8);
+  t.enable();
+  for (int i = 0; i < 20; ++i) t.record(i, 0, "c", "same message");
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.dropped(), 12u);
+  for (const auto& r : t.snapshot()) EXPECT_EQ(r.message, "same message");
 }
 
 TEST(Trace, ClearResets) {

@@ -13,6 +13,7 @@
 #include "core/driver.hpp"
 #include "core/endpoint.hpp"
 #include "mem/aligned_buffer.hpp"
+#include "obs/attrib.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -153,11 +154,13 @@ struct TracedResult {
   Time oneway = 0;
   std::size_t num_spans = 0;
   double avg_overlap_us = 0;  // mean Fig. 8 DMA/ingress overlap per message
+  obs::AttribReport report;   // per-size-class latency attribution
 };
 
-/// Ping-pong with full telemetry: spans + utilization timeline enabled,
-/// Perfetto JSON written to `json_path`, per-message waterfalls printed.
-/// This is how Figure 8 benches visualize the I/OAT overlap window.
+/// Ping-pong with full telemetry: spans + utilization timeline +
+/// wait-state attribution enabled, Perfetto JSON written to `json_path`,
+/// per-message waterfalls and the blame breakdown printed.  This is how
+/// Figure 8 benches visualize the I/OAT overlap window.
 inline TracedResult traced_pingpong(const OmxConfig& cfg, std::size_t len,
                                     int iters, const std::string& json_path,
                                     obs::Registry* metrics = nullptr,
@@ -167,6 +170,7 @@ inline TracedResult traced_pingpong(const OmxConfig& cfg, std::size_t len,
   auto& eng = cluster.engine();
   eng.timeline().enable();
   eng.spans().enable();
+  eng.attrib().enable();
 
   TracedResult r;
   r.oneway = run_pingpong(cluster, len, iters, /*warmup=*/1);
@@ -176,14 +180,24 @@ inline TracedResult traced_pingpong(const OmxConfig& cfg, std::size_t len,
     total_overlap += sim::to_micros(s.overlap_ns());
   if (r.num_spans)
     r.avg_overlap_us = total_overlap / static_cast<double>(r.num_spans);
+  r.report.build(eng.spans(), eng.attrib());
 
-  if (print_waterfall) obs::dump_waterfall(stdout, eng.spans());
+  if (print_waterfall) {
+    obs::dump_waterfall(stdout, eng.spans());
+    std::printf("\n--- latency attribution ---\n");
+    r.report.print(stdout);
+  }
   if (obs::write_chrome_trace_file(json_path, eng.timeline(), eng.spans(),
-                                   static_cast<int>(cluster.num_nodes())))
+                                   static_cast<int>(cluster.num_nodes()),
+                                   &eng.attrib()))
     std::printf(
         "perfetto trace written to %s (%zu spans, avg dma-overlap %.3f us)\n",
         json_path.c_str(), r.num_spans, r.avg_overlap_us);
-  if (metrics) collect_cluster_metrics(cluster, *metrics);
+  if (metrics) {
+    collect_cluster_metrics(cluster, *metrics);
+    r.report.to_registry(*metrics);
+    eng.attrib().to_registry(*metrics);
+  }
   return r;
 }
 

@@ -1,12 +1,14 @@
 // Trace viewer: run a small ping-pong with every telemetry layer on and
-// write `trace.json` — a Chrome trace-event / Perfetto file.  Open it at
+// write a Chrome trace-event / Perfetto file.  Open it at
 // https://ui.perfetto.dev (or chrome://tracing): one process per node,
 // one track per core and per DMA channel, plus a synthesized track per
 // large message showing its phase waterfall (wire-arrival, bottom-half,
 // ioat-submit, dma-complete, copy-out, notify) and the Fig. 8 overlap.
 //
-// Build & run:   ./build/examples/trace_viewer
+// Build & run:   ./build/examples/trace_viewer [output.json]
+// The output path defaults to trace.json in the current directory.
 #include <cstdio>
+#include <string>
 
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
@@ -16,7 +18,8 @@
 
 using namespace openmx;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "trace.json";
   core::OmxConfig config;
   config.ioat_large = true;  // so the waterfall shows real DMA overlap
 
@@ -29,6 +32,7 @@ int main() {
   engine.trace().enable();
   engine.spans().enable();
   engine.timeline().enable();
+  engine.attrib().enable();
 
   const std::size_t len = 512 * sim::KiB;
   const int iters = 3;
@@ -60,14 +64,18 @@ int main() {
               static_cast<unsigned long long>(engine.trace().dropped()));
   engine.trace().dump(stdout, 24);
 
-  // ...and the Perfetto file.
-  if (obs::write_chrome_trace_file("trace.json", engine.timeline(),
+  // ...and the Perfetto file (with per-message blame slices).
+  if (obs::write_chrome_trace_file(out_path, engine.timeline(),
                                    engine.spans(),
-                                   static_cast<int>(cluster.num_nodes())))
-    std::printf("\nwrote trace.json (%zu timeline slices, %zu spans) — load "
+                                   static_cast<int>(cluster.num_nodes()),
+                                   &engine.attrib()))
+    std::printf("\nwrote %s (%zu timeline slices, %zu spans) — load "
                 "it at https://ui.perfetto.dev\n",
-                engine.timeline().size(), engine.spans().size());
-  else
+                out_path.c_str(), engine.timeline().size(),
+                engine.spans().size());
+  else {
+    std::fprintf(stderr, "failed to open %s for writing\n", out_path.c_str());
     return 1;
+  }
   return 0;
 }

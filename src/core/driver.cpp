@@ -442,6 +442,9 @@ void Driver::cmd_pull(DriverEndpoint& ep, const SegList& segs, Addr src,
   auto& spans = node_.engine().spans();
   if (spans.enabled())
     spans.begin(obs::span_key(node_.id(), handle), node_.id(), len);
+  auto& attrib = node_.engine().attrib();
+  if (attrib.enabled())
+    attrib.begin(obs::span_key(node_.id(), handle), node_.id(), len);
 
   const int outstanding =
       std::min<int>(config_.pull_blocks_outstanding,
@@ -600,19 +603,26 @@ void Driver::rx(net::Skbuff skb) {
   auto shared = std::make_shared<net::Skbuff>(std::move(skb));
   // Span stamp: the frame is in host memory now; everything after this is
   // host-side latency.  Only pull replies belong to a tracked message, and
-  // the whole block is skipped unless spans were explicitly enabled.
+  // the whole block is skipped unless spans or attribution were explicitly
+  // enabled.  The attribution key rides the bottom-half work item so the
+  // Machine can stamp its run-queue wait against the right message.
   auto& spans = node_.engine().spans();
-  if (spans.enabled()) {
+  auto& attrib = node_.engine().attrib();
+  std::uint64_t akey = 0;
+  if (spans.enabled() || attrib.enabled()) {
     const auto* pkt = dynamic_cast<const OmxPkt*>(shared->payload());
     if (pkt && pkt->type == PktType::PullReply) {
       const auto& pr = static_cast<const PullReplyPkt&>(*pkt);
-      if (pulls_.count(pr.dst_handle))
-        spans.mark(obs::span_key(node_.id(), pr.dst_handle),
-                   obs::Phase::WireArrival, node_.engine().now());
+      if (pulls_.count(pr.dst_handle)) {
+        const std::uint64_t key = obs::span_key(node_.id(), pr.dst_handle);
+        if (spans.enabled())
+          spans.mark(key, obs::Phase::WireArrival, node_.engine().now());
+        if (attrib.enabled()) akey = key;
+      }
     }
   }
-  node_.machine().submit(
-      core, cpu::Cat::BottomHalf, [this, shared]() -> cpu::TaskResult {
+  node_.machine().submit_keyed(
+      core, cpu::Cat::BottomHalf, akey, [this, shared]() -> cpu::TaskResult {
         BhCtx ctx;
         const auto* pkt = dynamic_cast<const OmxPkt*>(shared->payload());
         if (pkt) {
@@ -869,6 +879,7 @@ void Driver::bh_pull_req(BhCtx& ctx, net::Skbuff& skb) {
 void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
   const auto& pkt = skb.as<PullReplyPkt>();
   const auto& costs = node_.params().costs;
+  const sim::Time cost0 = ctx.cost;
   ctx.cost += config_.native_mx ? costs.mx_bh_ns : costs.bh_frag_ns;
 
   auto it = pulls_.find(pkt.dst_handle);
@@ -879,7 +890,13 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
   ++h.received;
 
   auto& spans = node_.engine().spans();
+  auto& attrib = node_.engine().attrib();
   const std::uint64_t skey = obs::span_key(node_.id(), h.handle);
+  // Wait-state stamps: protocol execution charged so far is bottom-half
+  // work; the copy paths below add their own categories.
+  const bool att = attrib.enabled();
+  const std::uint64_t akey = att ? skey : 0;
+  if (att) attrib.add(skey, obs::Wait::BhExec, ctx.cost - cost0);
   if (spans.enabled()) {
     // first=entry of the first fragment's handler, last=end of this one
     // (the deferred mark runs when the charged core time has elapsed).
@@ -922,11 +939,12 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
       std::size_t src_off = 0;
       h.segs.for_pieces(dst_off, n, [&](std::uint8_t* dp, std::size_t len) {
         cookie = ioat.submit_chunked(chan, src_bytes + src_off, dp, len,
-                                     kPage);
+                                     kPage, akey);
         nchunks += dma::IoatEngine::chunk_count(len, kPage);
         src_off += len;
       });
       ctx.cost += ioat.submit_cost(nchunks);
+      if (att) attrib.add(skey, obs::Wait::BhExec, ioat.submit_cost(nchunks));
       if (spans.enabled()) {
         spans.mark(skey, obs::Phase::IoatSubmit, node_.engine().now());
         // The channel is a FIFO, so this fragment's completion instant is
@@ -940,13 +958,29 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
         // design avoiding for all but the last fragment).
         const sim::Time done = ioat.cookie_done_time(chan, cookie);
         const sim::Time busy_until = node_.engine().now() + ctx.cost;
-        if (done > busy_until) ctx.cost += done - busy_until;
+        if (done > busy_until) {
+          ctx.cost += done - busy_until;
+          if (att)
+            attrib.add(skey, obs::Wait::DmaDrainWait, done - busy_until);
+        }
         ctx.cost += ioat.poll_cost();
+        if (att) attrib.add(skey, obs::Wait::BhExec, ioat.poll_cost());
       }
       h.pending.push_back(PendingSkb{skb, chan, cookie});
       c_large_ioat_bytes_->add(n);
     } else {
-      ctx.cost += bh_copy_cost(n, h.segs.min_piece(dst_off, n));
+      const sim::Time copy_cost = bh_copy_cost(n, h.segs.min_piece(dst_off, n));
+      ctx.cost += copy_cost;
+      if (att) {
+        // Separate the copy's execution time from the extra time lost to
+        // memory-bus contention: the uncontended duration is what the
+        // same copy would cost with the NIC quiescent.
+        const sim::Time exec = node_.params().memcpy_model.duration(
+            n, std::min(h.segs.min_piece(dst_off, n), kPage), 0.0, false);
+        attrib.add(skey, obs::Wait::MemcpyExec, std::min(exec, copy_cost));
+        if (copy_cost > exec)
+          attrib.add(skey, obs::Wait::BusStall, copy_cost - exec);
+      }
       net::Skbuff skb_copy = skb;
       const SegList segs = h.segs;
       const bool span_on = spans.enabled();
@@ -992,6 +1026,9 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
   if (block_complete && h.next_block < h.blocks_total) {
     const std::uint32_t next = h.next_block++;
     ctx.cost += costs.skb_alloc_ns + costs.tx_doorbell_ns;
+    if (att)
+      attrib.add(skey, obs::Wait::BhExec,
+                 costs.skb_alloc_ns + costs.tx_doorbell_ns);
     const std::uint32_t handle = h.handle;
     ctx.effect([this, handle, next] {
       auto it2 = pulls_.find(handle);
@@ -1011,7 +1048,10 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
       it2->second->block_timer.cancel();
       arm_block_timer(*it2->second);
     });
-    if (!h.pending.empty()) ctx.cost += node_.ioat().poll_cost();
+    if (!h.pending.empty()) {
+      ctx.cost += node_.ioat().poll_cost();
+      if (att) attrib.add(skey, obs::Wait::BhExec, node_.ioat().poll_cost());
+    }
   }
 
   if (h.received == h.frag_count) finish_pull(ctx, h);
@@ -1023,6 +1063,8 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
   // outstanding asynchronous copy of this message (Section III-A), then
   // reports the single completion event to user-space.
   auto& spans = node_.engine().spans();
+  auto& attrib = node_.engine().attrib();
+  const bool att = attrib.enabled();
   const std::uint64_t skey = obs::span_key(node_.id(), h.handle);
   if (!h.pending.empty()) {
     auto& ioat = node_.ioat();
@@ -1030,14 +1072,25 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
     for (const PendingSkb& p : h.pending)
       drain = std::max(drain, ioat.cookie_done_time(p.chan, p.cookie));
     const sim::Time busy_until = node_.engine().now() + ctx.cost;
-    if (drain > busy_until) ctx.cost += drain - busy_until;
-    ctx.cost += ioat.poll_cost() * static_cast<sim::Time>(h.channels.size());
+    if (drain > busy_until) {
+      ctx.cost += drain - busy_until;
+      // The CPU blocks here until the slowest channel drains — this is
+      // the serial DMA tail of the message, the one piece of DMA time
+      // that cannot hide behind fragment ingress.
+      if (att) attrib.add(skey, obs::Wait::DmaDrainWait, drain - busy_until);
+    }
+    const sim::Time polls =
+        ioat.poll_cost() * static_cast<sim::Time>(h.channels.size());
+    ctx.cost += polls;
+    if (att) attrib.add(skey, obs::Wait::BhExec, polls);
     counters_.add("driver.drain_waits");
     // Offload path: the message data is fully in place once the slowest
     // channel drained — that instant is the copy-out point.
     if (spans.enabled()) spans.mark(skey, obs::Phase::CopyOut, drain);
   }
   ctx.cost += config_.native_mx ? 0 : costs.bh_ack_ns;
+  if (att && !config_.native_mx)
+    attrib.add(skey, obs::Wait::BhExec, costs.bh_ack_ns);
 
   const std::uint32_t handle = h.handle;
   ctx.effect([this, handle, skey] {

@@ -98,9 +98,20 @@ class Machine {
   /// when the core becomes free and returns the time it occupies the core;
   /// its `done` continuation runs when that time has elapsed.
   void submit(int core, Cat cat, std::function<TaskResult()> work) {
+    submit_keyed(core, cat, 0, std::move(work));
+  }
+
+  /// Like submit(), but tagged with a latency-attribution key: when the
+  /// work reaches the front of the core's run queue, the time it sat
+  /// waiting is stamped as obs::Wait::BhQueueWait for that message.  A
+  /// zero key (the default) records nothing.
+  void submit_keyed(int core, Cat cat, std::uint64_t attrib_key,
+                    std::function<TaskResult()> work) {
     check_core(core);
     Core& c = cores_[core];
-    c.queue.push_back(Item{cat, std::move(work)});
+    c.queue.push_back(Item{cat, attrib_key,
+                           attrib_key ? engine_.now() : sim::Time{0},
+                           std::move(work)});
     if (!c.running) start_next(core);
   }
 
@@ -154,6 +165,8 @@ class Machine {
  private:
   struct Item {
     Cat cat;
+    std::uint64_t attrib_key = 0;
+    sim::Time enqueued_at = 0;
     std::function<TaskResult()> work;
   };
 
@@ -177,6 +190,9 @@ class Machine {
     c.running = true;
     Item item = std::move(c.queue.front());
     c.queue.pop_front();
+    if (item.attrib_key && engine_.attrib().enabled())
+      engine_.attrib().add(item.attrib_key, obs::Wait::BhQueueWait,
+                           engine_.now() - item.enqueued_at);
     TaskResult r = item.work();
     c.busy[static_cast<std::size_t>(item.cat)] += r.cost;
     engine_.timeline().record(track_base_ + core,

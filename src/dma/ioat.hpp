@@ -53,6 +53,8 @@ class IoatEngine {
     // per descriptor instead of a string-keyed map lookup.
     c_descriptors_ = &counters_.counter("ioat.descriptors");
     c_bytes_ = &counters_.counter("ioat.bytes");
+    h_queue_wait_ = &counters_.histogram("ioat.queue_wait_ns");
+    h_transfer_ = &counters_.histogram("ioat.transfer_ns");
   }
 
   IoatEngine(const IoatEngine&) = delete;
@@ -75,11 +77,16 @@ class IoatEngine {
   /// channel are consecutive and complete in order).  `src` and `dst` must
   /// stay valid until completion — exactly the pinning requirement the real
   /// hardware imposes.
+  ///
+  /// A non-zero `attrib_key` stamps the descriptor's queue wait (time it
+  /// sits behind ring occupancy before the channel starts it) and its
+  /// engine time as distinct obs::Wait categories for that message.
   std::uint64_t submit(int chan, const std::uint8_t* src, std::uint8_t* dst,
-                       std::size_t len) {
+                       std::size_t len, std::uint64_t attrib_key = 0) {
     Channel& c = channel(chan);
     const std::uint64_t cookie = c.next_cookie++;
     const sim::Time start = std::max(engine_.now(), c.free_at);
+    const sim::Time queue_wait = start - engine_.now();
     // Channels contend for the chipset memory ports: with k busy channels
     // each one streams at min(engine_bw, aggregate_bw / k).
     int busy = 0;
@@ -94,6 +101,12 @@ class IoatEngine {
     c.inflight.push_back(Desc{src, dst, len, cookie, done});
     c_descriptors_->add();
     c_bytes_->add(len);
+    h_queue_wait_->add(static_cast<std::uint64_t>(queue_wait));
+    h_transfer_->add(static_cast<std::uint64_t>(done - start));
+    if (attrib_key && engine_.attrib().enabled()) {
+      engine_.attrib().add(attrib_key, obs::Wait::DmaQueueWait, queue_wait);
+      engine_.attrib().add(attrib_key, obs::Wait::DmaTransfer, done - start);
+    }
     engine_.timeline().record(track_base_ + chan, obs::kCatDma, start,
                               done - start);
     engine_.schedule_at(done, [this, chan] { complete_next(chan); });
@@ -104,12 +117,13 @@ class IoatEngine {
   /// chunking in the real driver); returns the last cookie.
   std::uint64_t submit_chunked(int chan, const std::uint8_t* src,
                                std::uint8_t* dst, std::size_t len,
-                               std::size_t chunk) {
+                               std::size_t chunk, std::uint64_t attrib_key = 0) {
     if (len == 0) throw std::invalid_argument("submit_chunked: empty copy");
     if (chunk == 0 || chunk > len) chunk = len;
     std::uint64_t cookie = 0;
     for (std::size_t off = 0; off < len; off += chunk)
-      cookie = submit(chan, src + off, dst + off, std::min(chunk, len - off));
+      cookie = submit(chan, src + off, dst + off, std::min(chunk, len - off),
+                      attrib_key);
     return cookie;
   }
 
@@ -205,6 +219,8 @@ class IoatEngine {
   sim::Counters counters_;
   obs::Counter* c_descriptors_ = nullptr;
   obs::Counter* c_bytes_ = nullptr;
+  obs::Histogram* h_queue_wait_ = nullptr;
+  obs::Histogram* h_transfer_ = nullptr;
   int track_base_ = obs::dma_track(0, 0);
 };
 

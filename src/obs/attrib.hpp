@@ -1,0 +1,449 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::obs {
+
+// ---------------------------------------------------------------------
+// Causal latency attribution for large-message receives.
+//
+// The span layer (obs/span.hpp) records *when* the phases of a receive
+// happened; this layer records *which resource the message was waiting
+// on* and turns both into a per-message blame breakdown that exactly
+// partitions the end-to-end receive time.  It is the machinery behind
+// the paper's Figures 8/9 argument: CPU memcpy vs. I/OAT DMA vs.
+// overlapped packet processing, now with queue waits and bus-contention
+// stalls separated from actual work.
+// ---------------------------------------------------------------------
+
+/// Raw wait-state stamps, accumulated per message at the instrumented
+/// sites (cpu::Machine run queue, dma::IoatEngine descriptor ring, the
+/// driver's rx copy paths).  These are resource-time totals: most of
+/// them overlap the wire window and each other, so they do NOT sum to
+/// the end-to-end latency — attribute_blame() below uses them to split
+/// the serial residual instead.
+enum class Wait : std::uint8_t {
+  BhQueueWait = 0,  // bottom-half work sat in a core's run queue
+  BhExec,           // bottom-half protocol processing (driver-charged)
+  DmaQueueWait,     // descriptor sat queued behind ring occupancy
+  DmaTransfer,      // engine-side descriptor time (startup + streaming)
+  DmaDrainWait,     // CPU blocked waiting for the slowest channel to drain
+  MemcpyExec,       // CPU copy at the uncontended memcpy rate
+  BusStall,         // extra memcpy time lost to memory-bus contention
+  kCount,
+};
+
+inline constexpr std::size_t kNumWaits = static_cast<std::size_t>(Wait::kCount);
+
+[[nodiscard]] inline const char* wait_name(Wait w) {
+  switch (w) {
+    case Wait::BhQueueWait: return "bh-queue-wait";
+    case Wait::BhExec: return "bh-exec";
+    case Wait::DmaQueueWait: return "dma-queue-wait";
+    case Wait::DmaTransfer: return "dma-transfer";
+    case Wait::DmaDrainWait: return "dma-drain-wait";
+    case Wait::MemcpyExec: return "memcpy-exec";
+    case Wait::BusStall: return "bus-stall";
+    default: return "?";
+  }
+}
+
+/// Blame categories of the end-to-end partition.  attribute_blame()
+/// assigns every nanosecond of a span's total_ns() to exactly one of
+/// these, so per-message blame sums equal the span total exactly.
+enum class Blame : std::uint8_t {
+  Wire = 0,      // fragments still serializing on the wire
+  BhQueueWait,   // run-queue delay of bottom-half processing
+  BhExec,        // bottom-half protocol execution
+  DmaQueueWait,  // descriptors queued behind DMA ring occupancy
+  DmaTransfer,   // actual DMA engine transfer time
+  MemcpyExec,    // CPU copy execution (memcpy path)
+  BusStall,      // memory-bus contention stall during CPU copies
+  Notify,        // completion event posted but not yet observed
+  kCount,
+};
+
+inline constexpr std::size_t kNumBlames = static_cast<std::size_t>(Blame::kCount);
+
+[[nodiscard]] inline const char* blame_name(Blame b) {
+  switch (b) {
+    case Blame::Wire: return "wire";
+    case Blame::BhQueueWait: return "bh-queue";
+    case Blame::BhExec: return "bh-exec";
+    case Blame::DmaQueueWait: return "dma-queue";
+    case Blame::DmaTransfer: return "dma-xfer";
+    case Blame::MemcpyExec: return "memcpy";
+    case Blame::BusStall: return "bus-stall";
+    case Blame::Notify: return "notify";
+    default: return "?";
+  }
+}
+
+/// Registry-safe variant (dots and dashes collide with the metric
+/// naming convention).
+[[nodiscard]] inline const char* blame_key(Blame b) {
+  switch (b) {
+    case Blame::Wire: return "wire";
+    case Blame::BhQueueWait: return "bh_queue";
+    case Blame::BhExec: return "bh_exec";
+    case Blame::DmaQueueWait: return "dma_queue";
+    case Blame::DmaTransfer: return "dma_transfer";
+    case Blame::MemcpyExec: return "memcpy";
+    case Blame::BusStall: return "bus_stall";
+    case Blame::Notify: return "notify";
+    default: return "?";
+  }
+}
+
+/// Per-message raw wait-state totals, keyed like the spans
+/// (obs::span_key of the receiving node and pull handle).
+struct MsgWaits {
+  std::uint64_t key = 0;
+  int node = -1;
+  std::uint64_t bytes = 0;
+  std::array<sim::Time, kNumWaits> wait{};
+
+  [[nodiscard]] sim::Time get(Wait w) const {
+    return wait[static_cast<std::size_t>(w)];
+  }
+};
+
+/// Table of per-message wait-state stamps plus the global per-stamp
+/// distributions.  Disabled by default: a disabled table is one branch
+/// per stamp site, schedules nothing, allocates nothing — attribution
+/// fully off adds no events to the simulation (test_determinism runs
+/// with it off and on and gets bit-identical timings).
+class AttribTable {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Registers the message identity (called at pull start, mirroring
+  /// SpanTable::begin).
+  void begin(std::uint64_t key, int node, std::uint64_t bytes) {
+    if (!enabled_) return;
+    MsgWaits& m = msgs_[key];
+    m.key = key;
+    m.node = node;
+    m.bytes = bytes;
+  }
+
+  /// Accumulates one wait-state stamp.  Zero-duration stamps still count
+  /// toward the per-stamp distribution (a zero queue wait is a
+  /// measurement, not noise).
+  void add(std::uint64_t key, Wait w, sim::Time ns) {
+    if (!enabled_ || ns < 0) return;
+    MsgWaits& m = msgs_[key];
+    if (m.key == 0) m.key = key;
+    m.wait[static_cast<std::size_t>(w)] += ns;
+    stamp_hist_[static_cast<std::size_t>(w)].add(static_cast<std::uint64_t>(ns));
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, MsgWaits>& all() const {
+    return msgs_;
+  }
+  [[nodiscard]] std::size_t size() const { return msgs_.size(); }
+  [[nodiscard]] const MsgWaits* find(std::uint64_t key) const {
+    auto it = msgs_.find(key);
+    return it == msgs_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Histogram& stamp_hist(Wait w) const {
+    return stamp_hist_[static_cast<std::size_t>(w)];
+  }
+
+  /// Exports the global per-stamp distributions as
+  /// `attrib.wait.<name>_ns` histograms.
+  void to_registry(Registry& reg) const {
+    for (std::size_t w = 0; w < kNumWaits; ++w) {
+      if (stamp_hist_[w].count() == 0) continue;
+      reg.histogram(std::string("attrib.wait.") +
+                    wait_name(static_cast<Wait>(w)) + "_ns")
+          .merge(stamp_hist_[w]);
+    }
+  }
+
+  void clear() {
+    msgs_.clear();
+    for (auto& h : stamp_hist_) h.reset();
+  }
+
+ private:
+  bool enabled_ = false;
+  std::map<std::uint64_t, MsgWaits> msgs_;
+  std::array<Histogram, kNumWaits> stamp_hist_{};
+};
+
+using BlameVec = std::array<sim::Time, kNumBlames>;
+
+[[nodiscard]] inline sim::Time blame_sum(const BlameVec& v) {
+  sim::Time t = 0;
+  for (sim::Time b : v) t += b;
+  return t;
+}
+
+/// The causal partition.  Walks the span's phase timeline and assigns
+/// every nanosecond of [first stamp, last stamp] to exactly one blame
+/// category — the resource the message was *serially* waiting on during
+/// that interval:
+///
+///   [start .. last wire-arrival]          -> Wire.  Work that overlaps
+///       fragment ingress (DMA transfers, per-fragment copies, bottom
+///       halves of earlier fragments) is deliberately NOT blamed: while
+///       bytes are still serializing, no host-side speedup can finish
+///       the message sooner.  This is the Figure 8 overlap argument in
+///       partition form.
+///   [last wire-arrival .. driver notify]  -> the host-side residual.
+///       First the measured DMA drain wait (the CPU blocking on the
+///       slowest channel) is peeled off and split between DmaQueueWait
+///       and DmaTransfer in proportion to this message's measured
+///       descriptor queue-wait vs. engine-time totals; the remainder is
+///       split across BhQueueWait / BhExec / MemcpyExec / BusStall in
+///       proportion to their measured totals.
+///   [driver notify .. library dequeue]    -> Notify.
+///
+/// Splits use integer proportions with the remainder assigned to the
+/// largest component, so blame_sum() equals Span::total_ns() exactly.
+[[nodiscard]] inline BlameVec attribute_blame(const Span& s,
+                                              const MsgWaits* raw) {
+  BlameVec out{};
+  // Span window, as total_ns() computes it.
+  sim::Time lo = -1, hi = -1;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    if (s.first[p] < 0) continue;
+    if (lo < 0 || s.first[p] < lo) lo = s.first[p];
+    hi = std::max(hi, s.last[p]);
+  }
+  if (lo < 0) return out;
+
+  auto at = [&out](Blame b) -> sim::Time& {
+    return out[static_cast<std::size_t>(b)];
+  };
+
+  // 1. Wire serialization: until the last fragment reached host memory.
+  const sim::Time w =
+      s.has(Phase::WireArrival)
+          ? std::clamp(s.last_at(Phase::WireArrival), lo, hi)
+          : lo;
+  at(Blame::Wire) = w - lo;
+
+  // 3 (computed early). Notify delay: driver pushed the completion at the
+  // first Notify stamp; the library observed it at the last.
+  const sim::Time notify_start =
+      s.has(Phase::Notify) ? std::clamp(s.first_at(Phase::Notify), w, hi) : hi;
+  at(Blame::Notify) = hi - notify_start;
+
+  // 2. Host-side residual between ingress end and completion push.
+  sim::Time mid = notify_start - w;
+  if (mid <= 0) return out;
+
+  if (raw) {
+    // 2a. DMA tail: the measured drain wait, split queue-wait vs.
+    // transfer by this message's descriptor-level totals.
+    const sim::Time tail = std::min(mid, raw->get(Wait::DmaDrainWait));
+    if (tail > 0) {
+      const sim::Time q = raw->get(Wait::DmaQueueWait);
+      const sim::Time x = raw->get(Wait::DmaTransfer);
+      if (q + x > 0) {
+        const auto qpart = static_cast<sim::Time>(
+            static_cast<double>(tail) * static_cast<double>(q) /
+            static_cast<double>(q + x));
+        at(Blame::DmaQueueWait) = qpart;
+        at(Blame::DmaTransfer) = tail - qpart;
+      } else {
+        at(Blame::DmaTransfer) = tail;
+      }
+      mid -= tail;
+    }
+    // 2b. Remaining residual: proportional to the measured host-side
+    // resource totals, remainder to the largest share (deterministic).
+    struct Part {
+      Blame blame;
+      Wait wait;
+    };
+    static constexpr Part parts[] = {
+        {Blame::BhQueueWait, Wait::BhQueueWait},
+        {Blame::BhExec, Wait::BhExec},
+        {Blame::MemcpyExec, Wait::MemcpyExec},
+        {Blame::BusStall, Wait::BusStall},
+    };
+    sim::Time total = 0;
+    for (const Part& p : parts) total += raw->get(p.wait);
+    if (total > 0 && mid > 0) {
+      sim::Time assigned = 0;
+      std::size_t largest = 0;
+      for (std::size_t i = 0; i < std::size(parts); ++i) {
+        const auto share = static_cast<sim::Time>(
+            static_cast<double>(mid) *
+            static_cast<double>(raw->get(parts[i].wait)) /
+            static_cast<double>(total));
+        at(parts[i].blame) += share;
+        assigned += share;
+        if (raw->get(parts[i].wait) > raw->get(parts[largest].wait))
+          largest = i;
+      }
+      at(parts[largest].blame) += mid - assigned;
+    } else if (mid > 0) {
+      at(Blame::BhExec) += mid;
+    }
+  } else {
+    // No wait-state stamps (attribution enabled mid-run, or a span from
+    // a foreign source): the residual is generic bottom-half time.
+    at(Blame::BhExec) += mid;
+  }
+  return out;
+}
+
+/// The critical-path verdict: the single resource whose speedup would
+/// shorten this message's end-to-end latency the most.  Because the
+/// partition assigns overlapped work zero blame, this is simply the
+/// largest partitioned category (ties break toward the earlier enum
+/// value, deterministically).
+[[nodiscard]] inline Blame critical_blame(const BlameVec& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kNumBlames; ++i)
+    if (v[i] > v[best]) best = i;
+  return static_cast<Blame>(best);
+}
+
+/// Power-of-two ceiling used as the size-class key (matches the
+/// doubling size sweeps of the paper's figures).
+[[nodiscard]] inline std::uint64_t attrib_size_class(std::uint64_t bytes) {
+  if (bytes <= 1) return 1;
+  std::uint64_t c = 1;
+  while (c < bytes) c <<= 1;
+  return c;
+}
+
+[[nodiscard]] inline std::string attrib_class_label(std::uint64_t cls) {
+  char buf[32];
+  if (cls >= sim::MiB)
+    std::snprintf(buf, sizeof buf, "%lluMB",
+                  static_cast<unsigned long long>(cls / sim::MiB));
+  else if (cls >= sim::KiB)
+    std::snprintf(buf, sizeof buf, "%llukB",
+                  static_cast<unsigned long long>(cls / sim::KiB));
+  else
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(cls));
+  return buf;
+}
+
+/// Aggregated blame per size class: deterministic percentile tables of
+/// each category, total-latency distribution, and the critical-path
+/// tally.  Built post-run from the span + wait tables; exported through
+/// the existing Registry plumbing so the bench metrics JSON (and the
+/// regression guard sitting on it) see attribution drift.
+class AttribReport {
+ public:
+  struct ClassAgg {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    std::array<Histogram, kNumBlames> blame_hist{};
+    std::array<std::uint64_t, kNumBlames> blame_sum{};
+    std::array<std::uint64_t, kNumBlames> critical{};
+    Histogram total_hist;
+  };
+
+  /// Folds one message in.  `raw` may be null (span without stamps).
+  void add(const Span& s, const MsgWaits* raw) {
+    const BlameVec blame = attribute_blame(s, raw);
+    const sim::Time total = s.total_ns();
+    ++checked_;
+    if (blame_sum(blame) != total) ++mismatched_;
+    ClassAgg& agg = classes_[attrib_size_class(s.bytes)];
+    ++agg.msgs;
+    agg.bytes += s.bytes;
+    agg.total_hist.add(static_cast<std::uint64_t>(total));
+    for (std::size_t b = 0; b < kNumBlames; ++b) {
+      agg.blame_hist[b].add(static_cast<std::uint64_t>(blame[b]));
+      agg.blame_sum[b] += static_cast<std::uint64_t>(blame[b]);
+    }
+    ++agg.critical[static_cast<std::size_t>(critical_blame(blame))];
+  }
+
+  /// Builds the report from a run's tables (span key order: deterministic).
+  void build(const SpanTable& spans, const AttribTable& attrib) {
+    for (const auto& [key, s] : spans.all()) add(s, attrib.find(key));
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, ClassAgg>& classes() const {
+    return classes_;
+  }
+  [[nodiscard]] std::uint64_t messages() const { return checked_; }
+  /// Messages whose partition did not sum to total_ns() — always 0 by
+  /// construction; asserted by tests and omx_blame.
+  [[nodiscard]] std::uint64_t sum_mismatches() const { return mismatched_; }
+
+  /// Critical resource of a size class: the category most often found
+  /// on the critical path (ties toward the earlier enum value).
+  [[nodiscard]] static Blame class_critical(const ClassAgg& agg) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < kNumBlames; ++b)
+      if (agg.critical[b] > agg.critical[best]) best = b;
+    return static_cast<Blame>(best);
+  }
+
+  /// Exports per-class percentile tables:
+  ///   attrib.<class>.<blame>_ns   (histogram: count/min/mean/p50/p90/p99/max)
+  ///   attrib.<class>.total_ns     (end-to-end distribution)
+  ///   attrib.<class>.critical.<blame>  (counter: critical-path tally)
+  void to_registry(Registry& reg) const {
+    for (const auto& [cls, agg] : classes_) {
+      const std::string base = "attrib." + attrib_class_label(cls) + ".";
+      reg.histogram(base + "total_ns").merge(agg.total_hist);
+      for (std::size_t b = 0; b < kNumBlames; ++b) {
+        if (agg.blame_hist[b].count() == 0) continue;
+        reg.histogram(base + blame_key(static_cast<Blame>(b)) + "_ns")
+            .merge(agg.blame_hist[b]);
+        if (agg.critical[b])
+          reg.counter(base + "critical." + blame_key(static_cast<Blame>(b)))
+              .add(agg.critical[b]);
+      }
+    }
+  }
+
+  /// The Figure 8/9-style table: one row per size class, one column per
+  /// blame category (percent of end-to-end time), the p50 total, and
+  /// the critical resource.
+  void print(std::FILE* out) const {
+    std::fprintf(out, "%-8s %5s", "class", "msgs");
+    for (std::size_t b = 0; b < kNumBlames; ++b)
+      std::fprintf(out, "%10s", blame_name(static_cast<Blame>(b)));
+    std::fprintf(out, "  %12s  %s\n", "p50 total", "critical");
+    for (const auto& [cls, agg] : classes_) {
+      std::fprintf(out, "%-8s %5llu", attrib_class_label(cls).c_str(),
+                   static_cast<unsigned long long>(agg.msgs));
+      std::uint64_t total = 0;
+      for (std::uint64_t s : agg.blame_sum) total += s;
+      for (std::size_t b = 0; b < kNumBlames; ++b)
+        std::fprintf(out, "%9.1f%%",
+                     total ? 100.0 * static_cast<double>(agg.blame_sum[b]) /
+                                 static_cast<double>(total)
+                           : 0.0);
+      std::fprintf(out, "  %9.3f us  %s\n",
+                   sim::to_micros(static_cast<sim::Time>(agg.total_hist.p50())),
+                   blame_name(class_critical(agg)));
+    }
+    if (mismatched_)
+      std::fprintf(out, "WARNING: %llu/%llu blame partitions do not sum to "
+                        "span totals\n",
+                   static_cast<unsigned long long>(mismatched_),
+                   static_cast<unsigned long long>(checked_));
+  }
+
+ private:
+  std::map<std::uint64_t, ClassAgg> classes_;
+  std::uint64_t checked_ = 0;
+  std::uint64_t mismatched_ = 0;
+};
+
+}  // namespace openmx::obs

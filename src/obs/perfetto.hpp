@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "obs/attrib.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
 #include "sim/time.hpp"
@@ -22,8 +23,13 @@ namespace openmx::obs {
 /// native unit of the trace-event format.  Output is fully deterministic:
 /// metadata in (pid, tid) order, slices in recording order, spans in key
 /// order.  Load the file at https://ui.perfetto.dev or chrome://tracing.
+/// When `attrib` is non-null, each span track additionally carries one
+/// "blame:<critical-resource>" slice over the whole message whose args
+/// are the per-category latency attribution (attribute_blame) in
+/// microseconds — the causal breakdown right next to the waterfall.
 inline void write_chrome_trace(std::FILE* out, const Timeline& tl,
-                               const SpanTable& spans, int num_nodes) {
+                               const SpanTable& spans, int num_nodes,
+                               const AttribTable* attrib = nullptr) {
   bool first = true;
   auto sep = [&] {
     std::fputs(first ? "\n" : ",\n", out);
@@ -111,6 +117,27 @@ inline void write_chrome_trace(std::FILE* out, const Timeline& tl,
                    sim::to_micros(s.first[p]), sim::to_micros(dur),
                    sim::to_micros(s.overlap_ns()));
     }
+    if (attrib) {
+      const BlameVec blame = attribute_blame(s, attrib->find(key));
+      sim::Time lo = -1;
+      for (std::size_t p = 0; p < kNumPhases; ++p)
+        if (s.first[p] >= 0 && (lo < 0 || s.first[p] < lo)) lo = s.first[p];
+      if (lo >= 0) {
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"blame:%s\",\"cat\":\"attrib\",\"ph\":\"X\","
+                     "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                     "\"args\":{",
+                     blame_name(critical_blame(blame)), s.node, tid,
+                     sim::to_micros(lo),
+                     sim::to_micros(std::max<sim::Time>(s.total_ns(), 1)));
+        for (std::size_t b = 0; b < kNumBlames; ++b)
+          std::fprintf(out, "%s\"%s_us\":%.3f", b ? "," : "",
+                       blame_key(static_cast<Blame>(b)),
+                       sim::to_micros(blame[b]));
+        std::fputs("}}", out);
+      }
+    }
   }
 
   std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", out);
@@ -120,10 +147,11 @@ inline void write_chrome_trace(std::FILE* out, const Timeline& tl,
 /// file could not be opened.
 inline bool write_chrome_trace_file(const std::string& path,
                                     const Timeline& tl, const SpanTable& spans,
-                                    int num_nodes) {
+                                    int num_nodes,
+                                    const AttribTable* attrib = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
-  write_chrome_trace(f, tl, spans, num_nodes);
+  write_chrome_trace(f, tl, spans, num_nodes, attrib);
   std::fclose(f);
   return true;
 }

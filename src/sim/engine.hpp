@@ -6,6 +6,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/attrib.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
 #include "sim/event_slab.hpp"
@@ -171,12 +172,21 @@ class Engine {
   /// events excluded the moment cancel() is called).
   [[nodiscard]] std::size_t live_events() const { return live_; }
 
+  /// Total number of events ever scheduled (the FIFO sequence counter).
+  /// Two runs of the same workload must agree on this exactly — used to
+  /// assert that telemetry layers add no events to the simulation.
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_; }
+
   /// Event trace shared by every component driven by this engine
   /// (disabled by default; see sim::Trace).
   [[nodiscard]] Trace& trace() { return trace_; }
 
   /// Message-lifecycle spans (disabled by default; see obs::SpanTable).
   [[nodiscard]] obs::SpanTable& spans() { return spans_; }
+
+  /// Per-message wait-state stamps for latency attribution (disabled by
+  /// default; see obs::AttribTable).
+  [[nodiscard]] obs::AttribTable& attrib() { return attrib_; }
 
   /// Core/DMA utilization timeline (disabled by default; see
   /// obs::Timeline).
@@ -260,6 +270,7 @@ class Engine {
   std::unique_ptr<TimerWheel> wheel_;
   Trace trace_;
   obs::SpanTable spans_;
+  obs::AttribTable attrib_;
   obs::Timeline timeline_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

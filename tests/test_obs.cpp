@@ -119,6 +119,57 @@ TEST(Histogram, StatsAndPercentiles) {
   EXPECT_EQ(w.p99(), 7u);
 }
 
+TEST(Histogram, EmptyHistogramReportsZeroes) {
+  // Percentile boundaries start with the degenerate case: an empty
+  // histogram must report zeroes everywhere, not garbage from the
+  // untouched min sentinel.
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, SingleSampleOwnsEveryPercentile) {
+  // With one sample every quantile is that sample's bucket lower bound —
+  // exact below kLinearMax, a deterministic lower bound above it.
+  obs::Histogram h;
+  h.add(5);
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(h.percentile(p), 5u) << "p=" << p;
+  obs::Histogram big;
+  big.add(1000);
+  const std::uint64_t lo =
+      obs::Histogram::bucket_lo(obs::Histogram::bucket_of(1000));
+  for (double p : {0.0, 0.5, 1.0}) EXPECT_EQ(big.percentile(p), lo);
+  EXPECT_EQ(big.min(), 1000u);
+  EXPECT_EQ(big.max(), 1000u);
+}
+
+TEST(Histogram, PercentileAtExactBucketEdges) {
+  // Samples sitting exactly on bucket boundaries: 8 and 10 start
+  // adjacent buckets (8..9 and 10..11), so the rank rounding is visible:
+  // with two samples, p50 has rank 1 (the lower bucket) and p100 rank 2.
+  obs::Histogram h;
+  h.add(8);
+  h.add(10);
+  EXPECT_EQ(h.percentile(0.5), 8u);
+  EXPECT_EQ(h.percentile(1.0), 10u);
+  // Three edge samples: ranks 2 and 3 land on the middle and top edges.
+  h.add(16);
+  EXPECT_EQ(h.percentile(0.5), 10u);
+  EXPECT_EQ(h.percentile(1.0), 16u);
+  // Values inside a bucket report the bucket's lower edge: 9 shares
+  // bucket_of(8), so a histogram of only 9s reports 8.
+  obs::Histogram inner;
+  inner.add(9);
+  EXPECT_EQ(inner.percentile(0.5), 8u);
+  EXPECT_EQ(inner.max(), 9u);
+}
+
 TEST(Histogram, MergeMatchesCombined) {
   obs::Histogram a, b, both;
   for (std::uint64_t v = 0; v < 1000; v += 3) { a.add(v); both.add(v); }
@@ -185,6 +236,28 @@ TEST(Registry, MergeIsDeterministicAcrossSweepWorkerCounts) {
   EXPECT_EQ(seq, run_with(4));
   EXPECT_EQ(seq, run_with(3));
   EXPECT_NE(seq.find("\"jobs.run\": 12"), std::string::npos);
+}
+
+TEST(Registry, MergeOrderDoesNotChangeResult) {
+  // Counter adds and histogram bucket sums are commutative, so folding
+  // the same parts in any order must render identical JSON — the
+  // property the deterministic-merge contract is built on.
+  auto part = [](unsigned seed) {
+    obs::Registry r;
+    r.add("events", seed * 11 + 1);
+    obs::Histogram& h = r.histogram("ns");
+    for (std::uint64_t k = 0; k < 40; ++k) h.add(seed * 1000 + k * 37);
+    return r;
+  };
+  const obs::Registry a = part(1), b = part(2), c = part(3);
+  auto fold = [](std::initializer_list<const obs::Registry*> parts) {
+    obs::Registry total;
+    for (const obs::Registry* p : parts) total.merge(*p);
+    return render([&](std::FILE* f) { total.dump_json(f); });
+  };
+  const std::string abc = fold({&a, &b, &c});
+  EXPECT_EQ(abc, fold({&c, &b, &a}));
+  EXPECT_EQ(abc, fold({&b, &a, &c}));
 }
 
 // ---------------------------------------------------------------------
@@ -334,6 +407,64 @@ TEST(SpanTable, IoatPingpongProducesOrderedSpansWithOverlap) {
   }
 }
 
+TEST(Span, SingleFragmentMessageDegenerateWindows) {
+  // A message carried by a single fragment stamps every phase exactly
+  // once, so first == last for each phase and the overlap window
+  // degenerates to the DMA window clipped by the single-arrival ingress
+  // "window".
+  obs::Span s;
+  s.mark(obs::Phase::WireArrival, 100);
+  s.mark(obs::Phase::BottomHalf, 150);
+  s.mark(obs::Phase::IoatSubmit, 160);
+  s.mark(obs::Phase::DmaComplete, 400);
+  s.mark(obs::Phase::Notify, 420);
+  for (auto p : {obs::Phase::WireArrival, obs::Phase::BottomHalf,
+                 obs::Phase::IoatSubmit, obs::Phase::DmaComplete})
+    EXPECT_EQ(s.first_at(p), s.last_at(p));
+  // DMA window [160, 400) x ingress window [100, 150): empty — a single
+  // fragment cannot overlap DMA with further arrivals.
+  EXPECT_EQ(s.overlap_ns(), 0);
+  EXPECT_EQ(s.total_ns(), 320);
+}
+
+TEST(Span, BelowDmaThresholdHasNoIoatSubmitStamp) {
+  // A pull under ioat_min_msg (64 KiB) on the I/OAT config takes the
+  // memcpy path: real spans must carry no ioat-submit/dma-complete
+  // stamps, report zero overlap, and still total correctly.
+  bench::Cluster cluster;
+  cluster.add_nodes(2, bench::cfg_omx_ioat());
+  cluster.engine().spans().enable();
+  bench::run_pingpong(cluster, 48 * sim::KiB, 2, /*warmup=*/0);
+
+  const obs::SpanTable& spans = cluster.engine().spans();
+  ASSERT_GT(spans.size(), 0u);
+  for (const auto& [key, s] : spans.all()) {
+    EXPECT_EQ(s.bytes, 48 * sim::KiB);
+    EXPECT_TRUE(s.has(obs::Phase::WireArrival));
+    EXPECT_TRUE(s.has(obs::Phase::CopyOut));
+    EXPECT_FALSE(s.has(obs::Phase::IoatSubmit));
+    EXPECT_FALSE(s.has(obs::Phase::DmaComplete));
+    EXPECT_EQ(s.overlap_ns(), 0);
+    EXPECT_GT(s.total_ns(), 0);
+  }
+}
+
+TEST(Span, RepeatedStampsAcrossPhasesKeepFirstLast) {
+  // Stamps arrive out of order (retransmits, per-fragment marks): each
+  // phase keeps its own min/max and total_ns spans the global extremes.
+  obs::Span s;
+  s.mark(obs::Phase::WireArrival, 50);
+  s.mark(obs::Phase::WireArrival, 10);
+  s.mark(obs::Phase::WireArrival, 30);
+  s.mark(obs::Phase::Notify, 900);
+  s.mark(obs::Phase::Notify, 700);
+  EXPECT_EQ(s.first_at(obs::Phase::WireArrival), 10);
+  EXPECT_EQ(s.last_at(obs::Phase::WireArrival), 50);
+  EXPECT_EQ(s.first_at(obs::Phase::Notify), 700);
+  EXPECT_EQ(s.last_at(obs::Phase::Notify), 900);
+  EXPECT_EQ(s.total_ns(), 890);
+}
+
 // ---------------------------------------------------------------------
 // Perfetto exporter — format pin
 // ---------------------------------------------------------------------
@@ -401,6 +532,7 @@ TEST(Telemetry, EnablingEverythingDoesNotChangeSimTime) {
       cluster.engine().trace().enable();
       cluster.engine().spans().enable();
       cluster.engine().timeline().enable();
+      cluster.engine().attrib().enable();
     }
     return bench::run_pingpong(cluster, sim::MiB, 2, /*warmup=*/1);
   };

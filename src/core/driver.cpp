@@ -56,6 +56,9 @@ Driver::Driver(Node& node, OmxConfig config)
   c_eager_sent_ = &counters_.counter("driver.eager_sent");
   c_nacks_sent_ = &counters_.counter("driver.nacks_sent");
   c_cleanup_runs_ = &counters_.counter("driver.cleanup_runs");
+  c_csum_drops_ = &counters_.counter("driver.csum_drops");
+  c_dma_faults_ = &counters_.counter("driver.dma_faults");
+  c_dma_fallback_bytes_ = &counters_.counter("driver.dma_fallback_bytes");
   h_pull_ns_ = &counters_.histogram("driver.pull_ns");
   if (config_.autotune_thresholds) autotune_thresholds();
 }
@@ -88,6 +91,9 @@ void Driver::transmit(Addr src_ep_addr, Addr dst, std::shared_ptr<OmxPkt> pkt,
   f.src_node = node_.id();
   f.dst_node = dst.node;
   f.wire_bytes = wire_bytes_for(data_bytes);
+  // Wire checksum: injected corruption flips the frame's copy, and the
+  // receiver's recompute in rx() catches it like real payload damage.
+  f.csum = pkt_checksum(*pkt);
   f.payload = std::move(pkt);
   node_.network().transmit(std::move(f));
 }
@@ -329,6 +335,7 @@ std::size_t Driver::cmd_local_copy(sim::SimThread& thread, int core,
     std::vector<int> chans;
     for (int i = 0; i < nch; ++i) chans.push_back(ioat.pick_channel());
     std::vector<std::uint64_t> cookies(static_cast<std::size_t>(nch), 0);
+    std::vector<std::uint64_t> firsts(static_cast<std::size_t>(nch), 0);
     std::size_t nchunks = 0;
     int slot = 0;
     // The engine starts draining descriptors while the CPU is still
@@ -341,6 +348,7 @@ std::size_t Driver::cmd_local_copy(sim::SimThread& thread, int core,
             const std::size_t take = std::min(kPage, len - off);
             const auto i = static_cast<std::size_t>(slot);
             cookies[i] = ioat.submit(chans[i], sp + off, dp + off, take);
+            if (!firsts[i]) firsts[i] = cookies[i];
             slot = (slot + 1) % nch;
             ++nchunks;
           }
@@ -366,6 +374,24 @@ std::size_t Driver::cmd_local_copy(sim::SimThread& thread, int core,
     machine.thread_advance(thread, core,
                            ioat.poll_cost() * static_cast<sim::Time>(nch),
                            cpu::Cat::DriverSyscall);
+    bool any_failed = false;
+    for (std::size_t i = 0; i < cookies.size(); ++i)
+      if (cookies[i] && ioat.range_failed(chans[i], firsts[i], cookies[i]))
+        any_failed = true;
+    if (any_failed) {
+      // Some descriptors completed with error status and moved no bytes.
+      // The chunks are interleaved across channels, so simply redo the
+      // whole copy with the CPU — byte-for-byte idempotent over the
+      // chunks that did land.
+      c_dma_faults_->add();
+      c_dma_fallback_bytes_->add(n);
+      const sim::Time redo =
+          node_.params().memcpy_model.duration(n, kPage, 0.0, false);
+      machine.thread_advance(thread, core, redo, cpu::Cat::DriverSyscall);
+      for_piece_pairs(m.segs, dst, n,
+                      [&](const std::uint8_t* sp, std::uint8_t* dp,
+                          std::size_t len) { std::memcpy(dp, sp, len); });
+    }
     counters_.add("driver.shm_ioat_bytes", n);
   } else if (n > 0) {
     // Single processor copy between the two address spaces.  Runs at
@@ -585,6 +611,16 @@ void Driver::cleanup_pull(PullHandle& h) {
     auto it = h.pending.begin();
     while (it != h.pending.end()) {
       if (it->chan == chan && it->cookie <= done) {
+        // A descriptor of this fragment completed with error status: the
+        // bytes never moved, so redo the copy with the CPU before the
+        // skbuff (the only remaining copy of the data) is released.
+        if (it->first_cookie &&
+            node_.ioat().range_failed(chan, it->first_cookie, it->cookie)) {
+          const auto& rp = it->skb.as<PullReplyPkt>();
+          h.segs.write(rp.offset, rp.data.data(), rp.data.size());
+          c_dma_faults_->add();
+          c_dma_fallback_bytes_->add(rp.data.size());
+        }
         it->skb.release();
         it = h.pending.erase(it);
       } else {
@@ -600,6 +636,17 @@ void Driver::cleanup_pull(PullHandle& h) {
 
 void Driver::rx(net::Skbuff skb) {
   const int core = node_.nic().bh_core();
+  if (skb.csum() != 0) {
+    // Verify the wire checksum before dispatching; a mismatch means the
+    // frame was damaged in flight.  Dropping it here turns corruption into
+    // ordinary loss, handled by the retransmission machinery.  The skbuff
+    // goes out of scope and returns its ring slot.
+    const auto* pkt = dynamic_cast<const OmxPkt*>(skb.payload());
+    if (pkt && pkt_checksum(*pkt) != skb.csum()) {
+      c_csum_drops_->add();
+      return;
+    }
+  }
   auto shared = std::make_shared<net::Skbuff>(std::move(skb));
   // Span stamp: the frame is in host memory now; everything after this is
   // host-side latency.  Only pull replies belong to a tracked message, and
@@ -666,6 +713,7 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
   if (flow.completed.count(pkt.msg_seq)) {
     // Duplicate of an already-delivered message: just re-ack.
     ctx.cost += costs.bh_ack_ns;
+    counters_.add("driver.eager_dup_reacks");
     auto ack = std::make_shared<MsgAckPkt>();
     ack->msg_seq = pkt.msg_seq;
     Addr ep_addr = ep->addr();
@@ -675,7 +723,10 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
 
   auto& rxs = flow.active[pkt.msg_seq];
   if (rxs.got.empty()) rxs.got.assign(pkt.frag_count, false);
-  if (rxs.got[pkt.frag_idx]) return;  // duplicate fragment
+  if (rxs.got[pkt.frag_idx]) {  // duplicate fragment
+    counters_.add("driver.eager_dup_frags");
+    return;
+  }
   rxs.got[pkt.frag_idx] = true;
   ++rxs.received;
 
@@ -712,8 +763,10 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
     for (std::size_t off = 0; off < n; off += kPage)
       cookie = ioat.submit(rxs.chan, pkt.data.data() + off,
                            ev.data.data() + off, std::min(kPage, n - off));
-    ctx.cost += ioat.submit_cost(dma::IoatEngine::chunk_count(n, kPage));
-    rxs.pending.emplace_back(skb, cookie);
+    const std::size_t nchunks = dma::IoatEngine::chunk_count(n, kPage);
+    ctx.cost += ioat.submit_cost(nchunks);
+    rxs.pending.push_back(DriverEndpoint::EagerRx::PendingCopy{
+        skb, cookie - nchunks + 1, cookie});
     rxs.held.push_back(std::move(ev));
     c_medium_overlap_bytes_->add(n);
   } else if (!config_.ignore_bh_copy && !config_.native_mx && n > 0) {
@@ -741,11 +794,24 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
     // this message — the single-wait of Figure 6 applied to mediums.
     if (!rxs.pending.empty()) {
       auto& ioat = node_.ioat();
-      const std::uint64_t last = rxs.pending.back().second;
+      const std::uint64_t last = rxs.pending.back().last;
       const sim::Time done = ioat.cookie_done_time(rxs.chan, last);
       const sim::Time busy_until = node_.engine().now() + ctx.cost;
       if (done > busy_until) ctx.cost += done - busy_until;
       ctx.cost += ioat.poll_cost();
+      // An injected descriptor failure on any of this message's copies is
+      // repaired here with a CPU copy of the affected fragment (the error
+      // status is deterministic, so the cost can be charged now; the
+      // bytes move in the deferred effect below).
+      for (const auto& pc : rxs.pending) {
+        if (pc.first &&
+            ioat.range_failed(rxs.chan, pc.first, pc.last)) {
+          const std::size_t flen = pc.skb.as<EagerFragPkt>().data.size();
+          ctx.cost += sim::duration_for_bytes(flen, costs.ring_copy_bw);
+          c_dma_faults_->add();
+          c_dma_fallback_bytes_->add(flen);
+        }
+      }
     }
     ctx.cost += config_.native_mx ? 0 : costs.bh_ack_ns;
   }
@@ -760,10 +826,22 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
       auto& flow2 = ep->rx_flows_[flow_key(src)];
       auto it = flow2.active.find(seq);
       if (it != flow2.active.end()) {
+        // Failed descriptors moved no bytes: redo those fragments' ring
+        // copies with the CPU before the events become visible.
+        auto& rxs2 = it->second;
+        for (std::size_t i = 0; i < rxs2.pending.size(); ++i) {
+          const auto& pc = rxs2.pending[i];
+          if (pc.first &&
+              node_.ioat().range_failed(rxs2.chan, pc.first, pc.last)) {
+            const auto& fp = pc.skb.as<EagerFragPkt>();
+            std::memcpy(rxs2.held[i].data.data(), fp.data.data(),
+                        fp.data.size());
+          }
+        }
         // Release the held events (in arrival order) and the skbuffs whose
         // copies have all completed by now.
-        for (Event& held : it->second.held) push_event(*ep, std::move(held));
-        it->second.pending.clear();
+        for (Event& held : rxs2.held) push_event(*ep, std::move(held));
+        rxs2.pending.clear();
         flow2.active.erase(it);
       }
       flow2.completed.insert(seq);
@@ -943,6 +1021,9 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
         nchunks += dma::IoatEngine::chunk_count(len, kPage);
         src_off += len;
       });
+      // Cookies on one channel are consecutive within a single BH, so the
+      // fragment's descriptors span exactly [cookie-nchunks+1, cookie].
+      const std::uint64_t first_cookie = cookie - nchunks + 1;
       ctx.cost += ioat.submit_cost(nchunks);
       if (att) attrib.add(skey, obs::Wait::BhExec, ioat.submit_cost(nchunks));
       if (spans.enabled()) {
@@ -966,7 +1047,7 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
         ctx.cost += ioat.poll_cost();
         if (att) attrib.add(skey, obs::Wait::BhExec, ioat.poll_cost());
       }
-      h.pending.push_back(PendingSkb{skb, chan, cookie});
+      h.pending.push_back(PendingSkb{skb, chan, cookie, first_cookie});
       c_large_ioat_bytes_->add(n);
     } else {
       const sim::Time copy_cost = bh_copy_cost(n, h.segs.min_piece(dst_off, n));
@@ -1084,6 +1165,20 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
     ctx.cost += polls;
     if (att) attrib.add(skey, obs::Wait::BhExec, polls);
     counters_.add("driver.drain_waits");
+    // Descriptors that completed with error status moved no bytes; redo
+    // those fragments with the CPU.  The error is latched at submission,
+    // so the fallback cost is known now; the bytes move in the effect.
+    for (const PendingSkb& p : h.pending) {
+      if (p.first_cookie &&
+          ioat.range_failed(p.chan, p.first_cookie, p.cookie)) {
+        const std::size_t flen = p.skb.as<PullReplyPkt>().data.size();
+        const sim::Time fb = bh_copy_cost(flen, flen);
+        ctx.cost += fb;
+        if (att) attrib.add(skey, obs::Wait::MemcpyExec, fb);
+        c_dma_faults_->add();
+        c_dma_fallback_bytes_->add(flen);
+      }
+    }
     // Offload path: the message data is fully in place once the slowest
     // channel drained — that instant is the copy-out point.
     if (spans.enabled()) spans.mark(skey, obs::Phase::CopyOut, drain);
@@ -1097,7 +1192,14 @@ void Driver::finish_pull(BhCtx& ctx, PullHandle& h) {
     auto it = pulls_.find(handle);
     if (it == pulls_.end()) return;
     PullHandle& p = *it->second;
-    for (PendingSkb& ps : p.pending) ps.skb.release();
+    for (PendingSkb& ps : p.pending) {
+      if (ps.first_cookie &&
+          node_.ioat().range_failed(ps.chan, ps.first_cookie, ps.cookie)) {
+        const auto& rp = ps.skb.as<PullReplyPkt>();
+        p.segs.write(rp.offset, rp.data.data(), rp.data.size());
+      }
+      ps.skb.release();
+    }
     p.pending.clear();
     p.block_timer.cancel();
 

@@ -54,9 +54,17 @@ class DriverEndpoint {
     // ioat_medium_overlap extension: events held back until the whole
     // message arrived (single completion report), with the skbuffs kept
     // alive while their asynchronous ring copies are in flight.
+    // pending[i] is the in-flight copy of held[i]'s ring slot: the cookie
+    // range [first, last] lets the completion wait detect an injected
+    // descriptor failure and redo that fragment's copy with the CPU.
+    struct PendingCopy {
+      net::Skbuff skb;
+      std::uint64_t first = 0;
+      std::uint64_t last = 0;
+    };
     int chan = -1;
     std::vector<Event> held;
-    std::vector<std::pair<net::Skbuff, std::uint64_t>> pending;
+    std::vector<PendingCopy> pending;
   };
 
   /// Per-(remote endpoint) receive flow: which eager messages are in
@@ -203,7 +211,8 @@ class Driver {
   struct PendingSkb {
     net::Skbuff skb;
     int chan = -1;
-    std::uint64_t cookie = 0;
+    std::uint64_t cookie = 0;        // last cookie of this fragment's chunks
+    std::uint64_t first_cookie = 0;  // first cookie (consecutive on chan)
   };
   struct PullHandle {
     std::uint32_t handle = 0;
@@ -287,6 +296,9 @@ class Driver {
   obs::Counter* c_eager_sent_ = nullptr;
   obs::Counter* c_nacks_sent_ = nullptr;
   obs::Counter* c_cleanup_runs_ = nullptr;
+  obs::Counter* c_csum_drops_ = nullptr;
+  obs::Counter* c_dma_faults_ = nullptr;
+  obs::Counter* c_dma_fallback_bytes_ = nullptr;
 
   // Per-message pull latency histogram (ns), fed on finish_pull.
   obs::Histogram* h_pull_ns_ = nullptr;

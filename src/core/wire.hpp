@@ -123,4 +123,82 @@ inline std::size_t wire_bytes_for(std::size_t data_bytes) {
   return kOmxHeaderBytes + data_bytes;
 }
 
+/// Wire checksum (FNV-1a over the header fields and payload bytes).  The
+/// sender stamps it into net::Frame::csum; the receiver recomputes and
+/// discards on mismatch, which is how injected wire corruption is
+/// detected and turned into an ordinary retransmission.
+inline std::uint32_t pkt_checksum(const OmxPkt& pkt) {
+  std::uint32_t h = 0x811c9dc5u;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= 0x01000193u;
+    }
+  };
+  auto mix_bytes = [&h](const std::vector<std::uint8_t>& data) {
+    for (std::uint8_t b : data) {
+      h ^= b;
+      h *= 0x01000193u;
+    }
+  };
+  mix(static_cast<std::uint64_t>(pkt.type));
+  mix(pkt.src_ep);
+  mix(pkt.dst_ep);
+  switch (pkt.type) {
+    case PktType::EagerFrag: {
+      const auto& p = static_cast<const EagerFragPkt&>(pkt);
+      mix(p.match_info);
+      mix(p.msg_seq);
+      mix(p.msg_len);
+      mix(p.frag_idx);
+      mix(p.frag_count);
+      mix(p.offset);
+      mix_bytes(p.data);
+      break;
+    }
+    case PktType::Rndv: {
+      const auto& p = static_cast<const RndvPkt&>(pkt);
+      mix(p.match_info);
+      mix(p.msg_seq);
+      mix(p.msg_len);
+      mix(p.src_handle);
+      break;
+    }
+    case PktType::PullReq: {
+      const auto& p = static_cast<const PullReqPkt&>(pkt);
+      mix(p.src_handle);
+      mix(p.dst_handle);
+      mix(p.frag_start);
+      mix(p.frag_count);
+      break;
+    }
+    case PktType::PullReply: {
+      const auto& p = static_cast<const PullReplyPkt&>(pkt);
+      mix(p.dst_handle);
+      mix(p.frag_idx);
+      mix(p.offset);
+      mix_bytes(p.data);
+      break;
+    }
+    case PktType::MsgAck:
+      mix(static_cast<const MsgAckPkt&>(pkt).msg_seq);
+      break;
+    case PktType::LargeAck: {
+      const auto& p = static_cast<const LargeAckPkt&>(pkt);
+      mix(p.src_handle);
+      mix(p.msg_seq);
+      mix(static_cast<std::uint64_t>(p.failed));
+      break;
+    }
+    case PktType::Nack: {
+      const auto& p = static_cast<const NackPkt&>(pkt);
+      mix(p.msg_seq);
+      mix(p.src_handle);
+      break;
+    }
+  }
+  // 0 means "no checksum"; remap the (1-in-4-billion) real zero.
+  return h ? h : 1u;
+}
+
 }  // namespace openmx::core

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -33,6 +34,23 @@ struct IoatParams {
   double aggregate_bw = 3.8 * static_cast<double>(sim::GiB);  // bytes/s
 };
 
+/// One injected anomaly of the chipset DMA hardware, decided at descriptor
+/// submission time (deterministically — the channel is a FIFO, so both the
+/// stall and the error status are fixed the moment the descriptor queues).
+struct DmaFault {
+  sim::Time stall_ns = 0;  // channel pauses this long before starting
+  bool fail = false;       // descriptor completes with error; no bytes move
+};
+
+/// Injection point for scripted DMA faults, consulted once per submitted
+/// descriptor.  Implemented by fault::Plan; the dma layer only knows this
+/// interface.
+class DmaFaultInjector {
+ public:
+  virtual ~DmaFaultInjector() = default;
+  virtual DmaFault on_submit(int chan, std::size_t len) = 0;
+};
+
 /// The I/OAT DMA engine integrated in the memory chipset (Intel 5000X).
 ///
 /// Each channel processes its descriptors strictly in order and reports
@@ -53,6 +71,9 @@ class IoatEngine {
     // per descriptor instead of a string-keyed map lookup.
     c_descriptors_ = &counters_.counter("ioat.descriptors");
     c_bytes_ = &counters_.counter("ioat.bytes");
+    c_desc_failures_ = &counters_.counter("ioat.desc_failures");
+    c_stalls_ = &counters_.counter("ioat.stalls");
+    c_stall_ns_ = &counters_.counter("ioat.stall_ns");
     h_queue_wait_ = &counters_.histogram("ioat.queue_wait_ns");
     h_transfer_ = &counters_.histogram("ioat.transfer_ns");
   }
@@ -62,6 +83,11 @@ class IoatEngine {
 
   [[nodiscard]] int num_channels() const { return params_.num_channels; }
   [[nodiscard]] const IoatParams& params() const { return params_; }
+
+  /// Installs (or clears, with nullptr) the scripted DMA fault injector.
+  /// No injector means submit() is byte-for-byte the pre-fault path.
+  void set_fault_injector(DmaFaultInjector* f) { faults_ = f; }
+  [[nodiscard]] DmaFaultInjector* fault_injector() const { return faults_; }
 
   /// CPU-side cost of submitting `ndesc` descriptors.  The caller charges
   /// this to whichever core performs the submission (normally the bottom
@@ -85,7 +111,14 @@ class IoatEngine {
                        std::size_t len, std::uint64_t attrib_key = 0) {
     Channel& c = channel(chan);
     const std::uint64_t cookie = c.next_cookie++;
-    const sim::Time start = std::max(engine_.now(), c.free_at);
+    DmaFault fault;
+    if (faults_) fault = faults_->on_submit(chan, len);
+    if (fault.stall_ns > 0) {
+      c_stalls_->add();
+      c_stall_ns_->add(static_cast<std::uint64_t>(fault.stall_ns));
+    }
+    const sim::Time start =
+        std::max(engine_.now(), c.free_at) + fault.stall_ns;
     const sim::Time queue_wait = start - engine_.now();
     // Channels contend for the chipset memory ports: with k busy channels
     // each one streams at min(engine_bw, aggregate_bw / k).
@@ -98,9 +131,10 @@ class IoatEngine {
     const sim::Time done =
         start + params_.desc_startup_ns + sim::duration_for_bytes(len, bw);
     c.free_at = done;
-    c.inflight.push_back(Desc{src, dst, len, cookie, done});
+    c.inflight.push_back(Desc{src, dst, len, cookie, done, fault.fail});
     c_descriptors_->add();
     c_bytes_->add(len);
+    if (fault.fail) c_desc_failures_->add();
     h_queue_wait_->add(static_cast<std::uint64_t>(queue_wait));
     h_transfer_->add(static_cast<std::uint64_t>(done - start));
     if (attrib_key && engine_.attrib().enabled()) {
@@ -136,9 +170,36 @@ class IoatEngine {
   }
 
   /// Highest completed cookie on `chan` (0 = nothing completed yet).
-  /// Charging poll_cost() is the caller's responsibility.
+  /// Charging poll_cost() is the caller's responsibility.  A cookie that
+  /// completed with an injected error still advances this watermark — the
+  /// real hardware reports the error through the descriptor status word,
+  /// modeled by range_failed() below.
   [[nodiscard]] std::uint64_t completed(int chan) const {
     return channel(chan).completed;
+  }
+
+  /// True if any descriptor with cookie in [first, last] on `chan` has
+  /// failed or is destined to fail.  Deterministic before virtual
+  /// completion: the error status is fixed at submission, exactly like
+  /// the completion instant.  The caller (the driver) reacts by
+  /// abandoning the handle and re-copying with the CPU.
+  [[nodiscard]] bool range_failed(int chan, std::uint64_t first,
+                                  std::uint64_t last) const {
+    if (first == 0 || last < first) return false;
+    const Channel& c = channel(chan);
+    auto it = c.failed.lower_bound(first);
+    if (it != c.failed.end() && *it <= last) return true;
+    for (const Desc& d : c.inflight)
+      if (d.failed && d.cookie >= first && d.cookie <= last) return true;
+    return false;
+  }
+
+  /// Total failed descriptors recorded on `chan` so far.
+  [[nodiscard]] std::size_t failed_count(int chan) const {
+    std::size_t n = channel(chan).failed.size();
+    for (const Desc& d : channel(chan).inflight)
+      if (d.failed) ++n;
+    return n;
   }
 
   /// Virtual time at which `cookie` will have completed.  Deterministic
@@ -184,10 +245,12 @@ class IoatEngine {
     std::size_t len;
     std::uint64_t cookie;
     sim::Time done_at;
+    bool failed = false;
   };
 
   struct Channel {
     std::deque<Desc> inflight;
+    std::set<std::uint64_t> failed;  // cookies completed with error status
     sim::Time free_at = 0;
     std::uint64_t next_cookie = 1;
     std::uint64_t completed = 0;
@@ -208,17 +271,26 @@ class IoatEngine {
       throw std::logic_error("IoatEngine: completion with empty queue");
     Desc d = c.inflight.front();
     c.inflight.pop_front();
-    if (d.len) std::memcpy(d.dst, d.src, d.len);
+    // A failed descriptor moves no bytes — the error is latched in the
+    // status word (the `failed` set) for the driver's fallback path.
+    if (d.failed)
+      c.failed.insert(d.cookie);
+    else if (d.len)
+      std::memcpy(d.dst, d.src, d.len);
     c.completed = d.cookie;
   }
 
   sim::Engine& engine_;
   IoatParams params_;
+  DmaFaultInjector* faults_ = nullptr;
   std::vector<Channel> channels_;
   int rr_next_ = 0;
   sim::Counters counters_;
   obs::Counter* c_descriptors_ = nullptr;
   obs::Counter* c_bytes_ = nullptr;
+  obs::Counter* c_desc_failures_ = nullptr;
+  obs::Counter* c_stalls_ = nullptr;
+  obs::Counter* c_stall_ns_ = nullptr;
   obs::Histogram* h_queue_wait_ = nullptr;
   obs::Histogram* h_transfer_ = nullptr;
   int track_base_ = obs::dma_track(0, 0);

@@ -26,11 +26,39 @@ using PayloadPtr = std::shared_ptr<const Payload>;
 /// One Ethernet frame in flight.  `wire_bytes` is the full on-the-wire size
 /// including protocol headers but excluding the fixed per-frame Ethernet
 /// overhead (preamble/header/FCS/IFG), which the link model adds.
+///
+/// `csum` is the protocol layer's wire checksum of the payload (0 = the
+/// sender computed none).  The payload object itself is shared and
+/// immutable, so wire corruption is modeled by flipping bits of the
+/// checksum copy carried in the frame: the receiver's recompute-and-compare
+/// fails exactly as it would had the payload bits flipped instead.
 struct Frame {
   int src_node = -1;
   int dst_node = -1;
   std::size_t wire_bytes = 0;
+  std::uint32_t csum = 0;
   PayloadPtr payload;
+};
+
+/// What the fault layer decided to do with one frame about to cross the
+/// wire.  Defaults mean "deliver untouched".  Several rules can stack:
+/// drop wins over everything; duplicates, delay and corruption combine.
+struct FaultDecision {
+  bool drop = false;      // frame vanishes on the wire
+  bool corrupt = false;   // wire image damaged; receiver's checksum fails
+  int duplicates = 0;     // extra copies delivered after the original
+  sim::Time delay_ns = 0; // held back in the fabric: bounded reordering
+};
+
+/// Injection point for scripted adversarial faults, consulted once per
+/// transmitted frame (after the frame occupied the tx port, before the
+/// uniform Bernoulli loss draw).  Implemented by fault::Plan; the net
+/// layer only knows this interface so it stays independent of the wire
+/// protocol above it.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultDecision on_transmit(const Frame& frame) = 0;
 };
 
 /// Link and NIC timing parameters.
@@ -67,6 +95,9 @@ class Skbuff {
   }
   [[nodiscard]] std::size_t wire_bytes() const {
     return state_ ? state_->frame.wire_bytes : 0;
+  }
+  [[nodiscard]] std::uint32_t csum() const {
+    return state_ ? state_->frame.csum : 0;
   }
   [[nodiscard]] int src_node() const { return state_ ? state_->frame.src_node : -1; }
   [[nodiscard]] bool valid() const { return static_cast<bool>(state_); }
@@ -180,6 +211,10 @@ class Network {
       : engine_(engine), params_(params), rng_(params.loss_seed) {
     c_tx_frames_ = &counters_.counter("net.tx_frames");
     c_dropped_ = &counters_.counter("net.dropped_frames");
+    c_fault_drops_ = &counters_.counter("net.fault_drops");
+    c_fault_dups_ = &counters_.counter("net.fault_dup_frames");
+    c_fault_delayed_ = &counters_.counter("net.fault_delayed");
+    c_fault_corrupt_ = &counters_.counter("net.fault_corrupted");
   }
 
   Network(const Network&) = delete;
@@ -187,6 +222,11 @@ class Network {
 
   [[nodiscard]] const NetParams& params() const { return params_; }
   void set_loss_prob(double p) { params_.loss_prob = p; }
+
+  /// Installs (or clears, with nullptr) the scripted fault injector.  No
+  /// injector means the transmit path is byte-for-byte the pre-fault one.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return faults_; }
 
   void attach(Nic& nic) {
     const auto id = static_cast<std::size_t>(nic.node_id());
@@ -215,6 +255,22 @@ class Network {
     const sim::Time tx_start = std::max(engine_.now(), tx_free_[src]);
     tx_free_[src] = tx_start + ser;
 
+    // Scripted faults see every frame in transmit order (deterministic
+    // occurrence counting), before the uniform Bernoulli loss draw.
+    FaultDecision fd;
+    if (faults_) fd = faults_->on_transmit(frame);
+    if (fd.drop) {
+      c_fault_drops_->add();
+      return;
+    }
+    if (fd.corrupt) {
+      // Damage the wire image: the receiver recomputes the payload
+      // checksum, compares against this flipped copy, and discards.
+      frame.csum ^= 0xDEADBEEFu;
+      c_fault_corrupt_->add();
+    }
+    if (fd.delay_ns > 0) c_fault_delayed_->add();
+
     if (params_.loss_prob > 0.0 && rng_.chance(params_.loss_prob)) {
       c_dropped_->add();
       return;
@@ -225,15 +281,20 @@ class Network {
     const sim::Time rx_end = rx_start + ser;
     rx_free_[dst] = rx_end;
 
-    Nic* dnic = nics_[dst];
-    engine_.schedule_at(rx_end, [this, dnic, frame = std::move(frame)] {
-      // The NIC is writing this frame into host memory right up to now;
-      // the bus stays loaded while the stream continues (descriptor
-      // fetches, the next frames already crossing the wire), so the
-      // contention window extends a few microseconds past each delivery.
-      dnic->bus_.note_nic_dma_until(engine_.now() + 6 * sim::kMicrosecond);
-      dnic->deliver(frame, params_);
-    });
+    // A delayed frame is held back in the fabric *after* clearing the rx
+    // port, so later frames overtake it: bounded reordering without
+    // head-of-line blocking the stream behind it.
+    deliver_at(dst, rx_end + fd.delay_ns, frame);
+
+    for (int i = 0; i < fd.duplicates; ++i) {
+      // Each duplicate is a real extra frame: it serializes on the rx
+      // port again behind everything already queued there.
+      const sim::Time dup_start = std::max(rx_end, rx_free_[dst]);
+      const sim::Time dup_end = dup_start + ser;
+      rx_free_[dst] = dup_end;
+      c_fault_dups_->add();
+      deliver_at(dst, dup_end + fd.delay_ns, frame);
+    }
   }
 
   /// Full wire-time of a frame of `wire_bytes`, for analytic checks.
@@ -245,15 +306,32 @@ class Network {
   [[nodiscard]] const sim::Counters& counters() const { return counters_; }
 
  private:
+  void deliver_at(std::size_t dst, sim::Time when, const Frame& frame) {
+    Nic* dnic = nics_[dst];
+    engine_.schedule_at(when, [this, dnic, frame] {
+      // The NIC is writing this frame into host memory right up to now;
+      // the bus stays loaded while the stream continues (descriptor
+      // fetches, the next frames already crossing the wire), so the
+      // contention window extends a few microseconds past each delivery.
+      dnic->bus_.note_nic_dma_until(engine_.now() + 6 * sim::kMicrosecond);
+      dnic->deliver(frame, params_);
+    });
+  }
+
   sim::Engine& engine_;
   NetParams params_;
   sim::Rng rng_;
+  FaultInjector* faults_ = nullptr;
   std::vector<Nic*> nics_;
   std::vector<sim::Time> tx_free_;
   std::vector<sim::Time> rx_free_;
   sim::Counters counters_;
   obs::Counter* c_tx_frames_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_fault_drops_ = nullptr;
+  obs::Counter* c_fault_dups_ = nullptr;
+  obs::Counter* c_fault_delayed_ = nullptr;
+  obs::Counter* c_fault_corrupt_ = nullptr;
 };
 
 }  // namespace openmx::net

@@ -10,6 +10,7 @@
 #include "bench/common.hpp"
 #include "cpu/machine.hpp"
 #include "dma/ioat.hpp"
+#include "fault/fault.hpp"
 #include "obs/attrib.hpp"
 #include "sim/engine.hpp"
 
@@ -212,6 +213,45 @@ TEST(AttribEndToEnd, MemcpyPingpongStampsCopyCategories) {
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(obs::blame_sum(obs::attribute_blame(*s, &raw)), s->total_ns());
   }
+}
+
+TEST(AttribEndToEnd, PartitionStaysExactUnderRetransmission) {
+  // Drop a pull reply and a completion ack mid-transfer: the receive
+  // span now covers a retransmission round-trip, and the blame walker
+  // must still partition the (much longer) total exactly — lost time
+  // lands in a category, never in an unaccounted residual.
+  bench::Cluster cluster;
+  bench::OmxConfig cfg = bench::cfg_omx_ioat();
+  cfg.retrans_timeout = 40 * sim::kMicrosecond;
+  cluster.add_nodes(2, cfg);
+  cluster.engine().spans().enable();
+  cluster.engine().attrib().enable();
+  fault::Plan plan(21);
+  plan.drop_nth(fault::Match::PullReply, 3);
+  plan.drop_nth(fault::Match::LargeAck, 0);
+  cluster.network().set_fault_injector(&plan);
+  bench::run_pingpong(cluster, 512 * sim::KiB, 2, /*warmup=*/0);
+
+  EXPECT_EQ(cluster.network().counters().get("net.fault_drops"), 2u);
+  std::uint64_t recoveries = 0;
+  for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
+    const auto& d = cluster.node(n).driver().counters();
+    recoveries += d.get("driver.pull_retransmits") +
+                  d.get("driver.pull_rereqs") +
+                  d.get("driver.eager_retransmits");
+  }
+  EXPECT_GT(recoveries, 0u);
+
+  const obs::SpanTable& spans = cluster.engine().spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (const auto& [key, s] : spans.all()) {
+    const obs::BlameVec v =
+        obs::attribute_blame(s, cluster.engine().attrib().find(key));
+    EXPECT_EQ(obs::blame_sum(v), s.total_ns());
+  }
+  obs::AttribReport report;
+  report.build(spans, cluster.engine().attrib());
+  EXPECT_EQ(report.sum_mismatches(), 0u);
 }
 
 TEST(AttribReport, AggregatesAndExportsDeterministically) {

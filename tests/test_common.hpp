@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared post-run invariant helpers for the protocol, fault and soak
+// suites.  Call after Cluster::run() returned (the engine is quiescent):
+// every resource with bounded ownership must be back at zero.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/cluster.hpp"
+
+namespace openmx::testutil {
+
+/// No leaked rx-ring slots and no skbuffs still held by asynchronous
+/// I/OAT copies, on any node.  Ring slots are owned by skbuffs
+/// (net::Skbuff::State::on_free returns them), so a nonzero count after
+/// quiesce means a protocol path dropped a reference on the floor.
+inline void expect_no_leaks(core::Cluster& cluster) {
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    core::Node& node = cluster.node(i);
+    EXPECT_EQ(node.nic().rx_ring_in_use(), 0u)
+        << "node " << i << ": rx-ring slots leaked after quiesce";
+    EXPECT_EQ(node.driver().pending_offload_skbuffs(), 0u)
+        << "node " << i << ": skbuffs still pinned by I/OAT copies";
+  }
+}
+
+/// Wire-frame conservation: every transmitted frame (plus injected
+/// duplicates) is accounted for as received, dropped at the rx ring,
+/// dropped by Bernoulli loss, or eaten by a scripted fault.
+inline void expect_frame_conservation(core::Cluster& cluster) {
+  const auto& net = cluster.network().counters();
+  std::uint64_t rx = 0, ring_drops = 0;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    rx += cluster.node(i).nic().counters().get("nic.rx_frames");
+    ring_drops += cluster.node(i).nic().counters().get("nic.rx_ring_drops");
+  }
+  EXPECT_EQ(net.get("net.tx_frames") + net.get("net.fault_dup_frames"),
+            rx + ring_drops + net.get("net.dropped_frames") +
+                net.get("net.fault_drops"))
+      << "wire frames do not balance: some frame was neither delivered "
+         "nor accounted as dropped";
+}
+
+}  // namespace openmx::testutil

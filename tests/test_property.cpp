@@ -4,7 +4,9 @@
 // exactly once, intact, at the matching receive.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/cluster.hpp"
@@ -44,7 +46,12 @@ class MessageStorm : public ::testing::TestWithParam<StormCase> {};
 }  // namespace
 
 TEST_P(MessageStorm, EveryPayloadDeliveredIntact) {
-  const StormCase& sc = GetParam();
+  StormCase sc = GetParam();
+  // OMX_TEST_SEED replays an arbitrary schedule without a rebuild; the
+  // trace below names the seed to rerun when a draw fails.
+  if (const char* env = std::getenv("OMX_TEST_SEED"))
+    sc.seed = std::strtoull(env, nullptr, 10);
+  SCOPED_TRACE("replay: OMX_TEST_SEED=" + std::to_string(sc.seed));
   sim::Rng rng(sc.seed);
 
   // Draw the plan: message sizes spanning tiny..multi-MB, a shuffled

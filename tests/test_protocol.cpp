@@ -8,6 +8,7 @@
 
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
+#include "tests/test_common.hpp"
 
 namespace sim = openmx::sim;
 namespace core = openmx::core;
@@ -271,6 +272,8 @@ TEST(Protocol, HeavyLossEventuallyDeliversEverything) {
   simple_transfer(f.cluster, 512 * sim::KiB, src, dst);
   EXPECT_EQ(dst, src);
   EXPECT_GT(f.cluster.network().counters().get("net.dropped_frames"), 0u);
+  openmx::testutil::expect_no_leaks(f.cluster);
+  openmx::testutil::expect_frame_conservation(f.cluster);
 }
 
 TEST(Protocol, ZeroByteMessageCompletesBothSides) {
@@ -346,6 +349,8 @@ TEST(Protocol, TinyRxRingRecoversViaRetransmission) {
   simple_transfer(f.cluster, 512 * sim::KiB, src, dst);
   EXPECT_EQ(dst, src);
   EXPECT_GT(f.n1().nic().counters().get("nic.rx_ring_drops"), 0u);
+  openmx::testutil::expect_no_leaks(f.cluster);
+  openmx::testutil::expect_frame_conservation(f.cluster);
 }
 
 TEST(Protocol, ManySmallMessagesKeepRingBounded) {
@@ -354,5 +359,6 @@ TEST(Protocol, ManySmallMessagesKeepRingBounded) {
   simple_transfer(f.cluster, 2048, src, dst, /*count=*/200);
   EXPECT_EQ(dst, src);
   EXPECT_EQ(f.n1().nic().counters().get("nic.rx_ring_drops"), 0u);
-  EXPECT_EQ(f.n1().nic().rx_ring_in_use(), 0u);
+  openmx::testutil::expect_no_leaks(f.cluster);
+  openmx::testutil::expect_frame_conservation(f.cluster);
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "lp_mesh.hpp"
 #include "obs/attrib.hpp"
 
 using namespace openmx;
@@ -101,6 +102,21 @@ std::vector<Metric> compute_metrics() {
            kM, bench::local_pingpong_oneway(bench::cfg_omx_ioat(), kM, 4,
                                             /*core_a=*/0, /*core_b=*/1)),
        0.05});
+
+  // Multi-LP engine: single-worker partitioned events/sec relative to
+  // the sequential engine on the same ring mesh.  This is a wall-clock
+  // ratio, so it is machine-normalized (both runs execute on the same
+  // box) but still noisy — the generous band only catches a partitioned
+  // path that suddenly costs multiples of the sequential one.
+  {
+    const bench::SimSpeedPoint seq = bench::sim_speed_sequential(8, 12);
+    const bench::SimSpeedPoint w1 = bench::sim_speed_multi_lp(8, 1, 12);
+    m.push_back({"sim_speed.par_ratio_w1",
+                 seq.events_per_sec > 0
+                     ? w1.events_per_sec / seq.events_per_sec
+                     : 0,
+                 0.40});
+  }
   return m;
 }
 

@@ -3,17 +3,29 @@
 // processing, cache-model touches, and a full simulated ping-pong per
 // wall second — the numbers that bound how large an experiment the
 // harness can run.
+//
+// After the micro-benchmarks, main() measures the single-run scale-out
+// KPI: events/sec of an 8-node ring mesh on the sequential Cluster vs.
+// the multi-LP ParallelCluster at 1/2/4 workers, written to
+// BENCH_sim_speed_metrics.json (and guarded by bench_guard's
+// sim_speed.par_ratio_w1 row).
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <functional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/lp_mesh.hpp"
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
+#include "core/parallel_cluster.hpp"
 #include "dma/ioat.hpp"
 #include "mem/cache_model.hpp"
+#include "obs/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/sweep.hpp"
 
@@ -181,4 +193,76 @@ static void BM_SimulatedLargeTransfer1M(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedLargeTransfer1M);
 
-BENCHMARK_MAIN();
+static void BM_MultiLpRingMesh(benchmark::State& state) {
+  // One whole partitioned run per iteration, at the worker count given
+  // by the benchmark argument.
+  const auto workers = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const bench::SimSpeedPoint p = bench::sim_speed_multi_lp(8, workers, 4);
+    benchmark::DoNotOptimize(p.events);
+    state.SetItemsProcessed(static_cast<int64_t>(state.items_processed()) +
+                            static_cast<int64_t>(p.events));
+  }
+}
+BENCHMARK(BM_MultiLpRingMesh)->Arg(1)->Arg(2)->Arg(4);
+
+namespace {
+
+// The scale-out KPI: sequential vs. multi-LP events/sec on the fig12
+// ring mesh, recorded as counters so the JSON is machine-comparable.
+// The events-scheduled totals of every mode must agree (the determinism
+// suite asserts bit-identical results; this is the perf-side echo).
+void run_scaleout_kpi() {
+  const int kNodes = 8, kIters = 48;
+  openmx::obs::Registry reg;
+
+  const bench::SimSpeedPoint seq = bench::sim_speed_sequential(kNodes, kIters);
+  std::printf("\n=== sim_speed scale-out KPI (%d-node ring, %d iters) ===\n",
+              kNodes, kIters);
+  std::printf("%-14s %14s %12s %12s\n", "mode", "events/s", "events",
+              "wall[ms]");
+  std::printf("%-14s %14.0f %12llu %12.1f\n", "sequential", seq.events_per_sec,
+              static_cast<unsigned long long>(seq.events),
+              1e3 * seq.wall_s);
+
+  reg.counter("sim_speed.nodes").add(static_cast<std::uint64_t>(kNodes));
+  reg.counter("sim_speed.iters").add(static_cast<std::uint64_t>(kIters));
+  reg.counter("sim_speed.events").add(seq.events);
+  reg.counter("sim_speed.seq_events_per_sec")
+      .add(static_cast<std::uint64_t>(seq.events_per_sec));
+
+  double w4_speedup = 0;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    const bench::SimSpeedPoint mlp =
+        bench::sim_speed_multi_lp(kNodes, workers, kIters);
+    const double speedup =
+        seq.wall_s > 0 && mlp.wall_s > 0 ? seq.wall_s / mlp.wall_s : 0;
+    std::printf("%-14s %14.0f %12llu %12.1f   speedup %.2fx\n",
+                ("multi-lp w" + std::to_string(workers)).c_str(),
+                mlp.events_per_sec,
+                static_cast<unsigned long long>(mlp.events), 1e3 * mlp.wall_s,
+                speedup);
+    const std::string prefix = "sim_speed.mlp_w" + std::to_string(workers);
+    reg.counter(prefix + "_events_per_sec")
+        .add(static_cast<std::uint64_t>(mlp.events_per_sec));
+    reg.counter(prefix + "_speedup_x1000")
+        .add(static_cast<std::uint64_t>(1000.0 * speedup));
+    if (workers == 4) w4_speedup = speedup;
+  }
+  std::printf("4-worker speedup over sequential: %.2fx (on %u hardware "
+              "threads)\n",
+              w4_speedup, std::thread::hardware_concurrency());
+  reg.counter("sim_speed.hardware_threads")
+      .add(std::thread::hardware_concurrency());
+  bench::emit_metrics_json("sim_speed", reg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  run_scaleout_kpi();
+  return 0;
+}

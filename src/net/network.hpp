@@ -1,14 +1,18 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "cpu/machine.hpp"
 #include "mem/memcpy_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/lp.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -54,7 +58,9 @@ struct FaultDecision {
 /// transmitted frame (after the frame occupied the tx port, before the
 /// uniform Bernoulli loss draw).  Implemented by fault::Plan; the net
 /// layer only knows this interface so it stays independent of the wire
-/// protocol above it.
+/// protocol above it.  In a partitioned run each shard carries its own
+/// injector, so fault occurrence counting follows the shard-local
+/// transmit order and stays worker-count independent.
 class FaultInjector {
  public:
   virtual ~FaultInjector() = default;
@@ -66,7 +72,9 @@ class FaultInjector {
 /// The wire is 10 Gbit/s Ethernet: 9953 Mbit/s of usable data rate
 /// (= 1244 MB/s = 1186 MiB/s), the line-rate ceiling quoted throughout the
 /// paper.  Hosts are connected back-to-back ("two Myri-10G NICs connected
-/// without any switch").
+/// without any switch").  `latency_ns` doubles as the conservative
+/// lookahead of a partitioned run: no frame can affect another logical
+/// process sooner than one wire latency after it left the tx port.
 struct NetParams {
   double wire_bw = 1244.125e6;       // bytes/s of 10 GbE data rate
   sim::Time latency_ns = 500;        // NIC-to-NIC, back-to-back cable
@@ -202,13 +210,41 @@ class Nic {
   obs::Counter* c_ring_drops_ = nullptr;
 };
 
+/// One frame's pending reservation of a destination rx port.
+///
+/// The claim becomes eligible at `claim_time` = wire-arrival minus its
+/// own serialization time — the earliest instant the port could start
+/// taking this frame.  Claims on one port are served in the total order
+/// (claim_time, src_node, src_seq), a key that exists identically in a
+/// single-engine and a partitioned run, which is what makes the two
+/// modes bit-identical (see DESIGN.md "Multi-LP execution").
+struct RxClaim {
+  sim::Time claim_time = 0;
+  std::uint32_t src_node = 0;
+  std::uint64_t src_seq = 0;   // per-source transmit counter (dups included)
+  sim::Time ser = 0;           // rx-port serialization time
+  sim::Time extra_delay = 0;   // fault-injected fabric delay, post-port
+  Frame frame;
+};
+
 /// The cable(s): point-to-point full-duplex links between every pair of
 /// attached NICs, each serialized at 10 GbE line rate on both the transmit
 /// and the receive side.
+///
+/// Receive-port arbitration runs through per-destination claim heaps: a
+/// transmit computes its claim time from sender-local state only (tx
+/// port, wire latency) and enqueues an RxClaim; a Band::kClaim engine
+/// event at that time pops the heap minimum and reserves the port.
+/// Because the heap orders claims by a location-independent key, the
+/// arbitration result does not depend on which engine executed the
+/// transmit — so the Network can be sharded across logical processes
+/// (one shard per LP via bind_partition) with remote claims carried as
+/// timestamped LpMessages, and deliver bit-identical timing to the
+/// sequential single-engine run.
 class Network {
  public:
   Network(sim::Engine& engine, NetParams params = {})
-      : engine_(engine), params_(params), rng_(params.loss_seed) {
+      : engine_(engine), params_(params) {
     c_tx_frames_ = &counters_.counter("net.tx_frames");
     c_dropped_ = &counters_.counter("net.dropped_frames");
     c_fault_drops_ = &counters_.counter("net.fault_drops");
@@ -230,10 +266,22 @@ class Network {
 
   void attach(Nic& nic) {
     const auto id = static_cast<std::size_t>(nic.node_id());
-    if (nics_.size() <= id) nics_.resize(id + 1, nullptr);
+    if (nics_.size() <= id) grow(id + 1);
     nics_[id] = &nic;
-    tx_free_.resize(nics_.size(), 0);
-    rx_free_.resize(nics_.size(), 0);
+  }
+
+  /// Multi-LP wiring: this instance becomes `lp`'s shard of the fabric.
+  /// `lp_of_node` maps every node id to its LP; `shards` holds every
+  /// shard indexed by LP id (including this one).  Only NICs of local
+  /// nodes may be attached to a shard; a transmit to a remote node posts
+  /// its rx-port claim to the destination shard as an LpMessage.  Must
+  /// be called before the first transmit.
+  void bind_partition(sim::Lp& lp, std::vector<int> lp_of_node,
+                      std::vector<Network*> shards) {
+    lp_ = &lp;
+    lp_of_node_ = std::move(lp_of_node);
+    shards_ = std::move(shards);
+    grow(lp_of_node_.size());
   }
 
   /// Transmits `frame`; caller has already charged host-side send costs.
@@ -245,8 +293,7 @@ class Network {
       throw std::logic_error("Network: frame exceeds MTU");
     const auto src = static_cast<std::size_t>(frame.src_node);
     const auto dst = static_cast<std::size_t>(frame.dst_node);
-    if (src >= nics_.size() || !nics_[src] || dst >= nics_.size() ||
-        !nics_[dst])
+    if (src >= nics_.size() || !nics_[src] || !node_known(dst))
       throw std::logic_error("Network: unattached node");
 
     c_tx_frames_->add();
@@ -271,29 +318,31 @@ class Network {
     }
     if (fd.delay_ns > 0) c_fault_delayed_->add();
 
-    if (params_.loss_prob > 0.0 && rng_.chance(params_.loss_prob)) {
+    // The Bernoulli loss stream is per source node (seeded from
+    // loss_seed and the node id), so draws depend only on the sender's
+    // own transmit order — identical sequentially and partitioned.
+    if (params_.loss_prob > 0.0 &&
+        loss_rng(src).chance(params_.loss_prob)) {
       c_dropped_->add();
       return;
     }
 
-    const sim::Time wire_arrival = tx_free_[src] + params_.latency_ns;
-    const sim::Time rx_start = std::max(wire_arrival - ser, rx_free_[dst]);
-    const sim::Time rx_end = rx_start + ser;
-    rx_free_[dst] = rx_end;
-
-    // A delayed frame is held back in the fabric *after* clearing the rx
-    // port, so later frames overtake it: bounded reordering without
-    // head-of-line blocking the stream behind it.
-    deliver_at(dst, rx_end + fd.delay_ns, frame);
+    // Earliest instant the rx port could start serializing this frame:
+    // it left the tx port at tx_free_[src] and needs `ser` on the far
+    // side ending no sooner than one wire latency after tx completion.
+    // claim_time >= now + latency always — the lookahead guarantee.
+    const sim::Time claim_time = tx_free_[src] + params_.latency_ns - ser;
+    RxClaim claim{claim_time, static_cast<std::uint32_t>(src),
+                  tx_seq_[src]++, ser, fd.delay_ns, frame};
+    route_claim(dst, claim);
 
     for (int i = 0; i < fd.duplicates; ++i) {
       // Each duplicate is a real extra frame: it serializes on the rx
       // port again behind everything already queued there.
-      const sim::Time dup_start = std::max(rx_end, rx_free_[dst]);
-      const sim::Time dup_end = dup_start + ser;
-      rx_free_[dst] = dup_end;
+      RxClaim dup = claim;
+      dup.src_seq = tx_seq_[src]++;
       c_fault_dups_->add();
-      deliver_at(dst, dup_end + fd.delay_ns, frame);
+      route_claim(dst, dup);
     }
   }
 
@@ -306,25 +355,110 @@ class Network {
   [[nodiscard]] const sim::Counters& counters() const { return counters_; }
 
  private:
-  void deliver_at(std::size_t dst, sim::Time when, const Frame& frame) {
+  struct ClaimAfter {
+    bool operator()(const RxClaim& a, const RxClaim& b) const {
+      if (a.claim_time != b.claim_time) return a.claim_time > b.claim_time;
+      if (a.src_node != b.src_node) return a.src_node > b.src_node;
+      return a.src_seq > b.src_seq;
+    }
+  };
+  using ClaimHeap =
+      std::priority_queue<RxClaim, std::vector<RxClaim>, ClaimAfter>;
+
+  [[nodiscard]] bool node_known(std::size_t node) const {
+    if (node < nics_.size() && nics_[node]) return true;
+    // Partitioned: a remote node is addressable without a local NIC.
+    return lp_ && node < lp_of_node_.size();
+  }
+
+  [[nodiscard]] bool node_local(std::size_t node) const {
+    return !lp_ || (node < lp_of_node_.size() &&
+                    lp_of_node_[node] == lp_->id());
+  }
+
+  sim::Rng& loss_rng(std::size_t src) {
+    if (loss_rng_.size() <= src) {
+      loss_rng_.reserve(src + 1);
+      for (std::size_t i = loss_rng_.size(); i <= src; ++i)
+        loss_rng_.emplace_back(sim::sweep_seed(params_.loss_seed, i));
+    }
+    return loss_rng_[src];
+  }
+
+  void grow(std::size_t n) {
+    if (nics_.size() < n) nics_.resize(n, nullptr);
+    if (tx_free_.size() < n) tx_free_.resize(n, 0);
+    if (rx_free_.size() < n) rx_free_.resize(n, 0);
+    if (tx_seq_.size() < n) tx_seq_.resize(n, 0);
+    if (claims_.size() < n) claims_.resize(n);
+  }
+
+  void route_claim(std::size_t dst, RxClaim claim) {
+    if (node_local(dst)) {
+      accept_claim(dst, std::move(claim));
+      return;
+    }
+    Network* peer = shards_.at(
+        static_cast<std::size_t>(lp_of_node_[dst]));
+    sim::LpMessage msg;
+    msg.when = claim.claim_time;
+    msg.origin = claim.src_node;
+    msg.seq = claim.src_seq;
+    msg.apply = [peer, dst, claim = std::move(claim)]() mutable {
+      peer->accept_claim(dst, std::move(claim));
+    };
+    lp_->post(lp_of_node_[dst], std::move(msg));
+  }
+
+  /// Enqueues a claim on the destination port and arms its service
+  /// event.  One Band::kClaim event fires per claim; each pops the heap
+  /// minimum, so claims are served in key order no matter how their
+  /// events interleave with anything else at the same nanosecond.
+  void accept_claim(std::size_t dst, RxClaim claim) {
+    const sim::Time when = claim.claim_time;
+    claims_[dst].push(std::move(claim));
+    engine_.schedule_at(when, sim::Band::kClaim,
+                        [this, dst] { process_claim(dst); });
+  }
+
+  void process_claim(std::size_t dst) {
+    ClaimHeap& heap = claims_[dst];
+    assert(!heap.empty() && heap.top().claim_time == engine_.now());
+    RxClaim c = heap.top();
+    heap.pop();
+    const sim::Time rx_start = std::max(engine_.now(), rx_free_[dst]);
+    const sim::Time rx_end = rx_start + c.ser;
+    rx_free_[dst] = rx_end;
+
+    // A delayed frame is held back in the fabric *after* clearing the rx
+    // port, so later frames overtake it: bounded reordering without
+    // head-of-line blocking the stream behind it.
     Nic* dnic = nics_[dst];
-    engine_.schedule_at(when, [this, dnic, frame] {
-      // The NIC is writing this frame into host memory right up to now;
-      // the bus stays loaded while the stream continues (descriptor
-      // fetches, the next frames already crossing the wire), so the
-      // contention window extends a few microseconds past each delivery.
-      dnic->bus_.note_nic_dma_until(engine_.now() + 6 * sim::kMicrosecond);
-      dnic->deliver(frame, params_);
-    });
+    engine_.schedule_at(
+        rx_end + c.extra_delay,
+        [this, dnic, frame = std::move(c.frame)] {
+          // The NIC is writing this frame into host memory right up to
+          // now; the bus stays loaded while the stream continues
+          // (descriptor fetches, the next frames already crossing the
+          // wire), so the contention window extends a few microseconds
+          // past each delivery.
+          dnic->bus_.note_nic_dma_until(engine_.now() + 6 * sim::kMicrosecond);
+          dnic->deliver(frame, params_);
+        });
   }
 
   sim::Engine& engine_;
   NetParams params_;
-  sim::Rng rng_;
   FaultInjector* faults_ = nullptr;
   std::vector<Nic*> nics_;
   std::vector<sim::Time> tx_free_;
   std::vector<sim::Time> rx_free_;
+  std::vector<std::uint64_t> tx_seq_;
+  std::vector<ClaimHeap> claims_;
+  std::vector<sim::Rng> loss_rng_;
+  sim::Lp* lp_ = nullptr;             // null = unpartitioned (single engine)
+  std::vector<int> lp_of_node_;
+  std::vector<Network*> shards_;
   sim::Counters counters_;
   obs::Counter* c_tx_frames_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;

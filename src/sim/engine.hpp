@@ -25,6 +25,19 @@ class Engine;
 /// back to one heap allocation.
 using EventFn = InlineFn<48>;
 
+/// Sub-timestamp dispatch band.
+///
+/// Events at the same instant normally fire in schedule order (FIFO), but
+/// that order is a *global* property of one engine — it cannot survive
+/// partitioning the simulation into logical processes, where each LP
+/// assigns its own sequence numbers.  Resource-claim events (the network's
+/// rx-port claims) therefore run in a dedicated band that fires before all
+/// normal events at the same timestamp, and order claims among themselves
+/// by an explicit location-independent key (see net::Network's claim
+/// heaps).  With claims lifted out of FIFO tie-breaking, a partitioned
+/// run dispatches bit-identically to the single-engine run.
+enum class Band : std::uint8_t { kClaim = 0, kNormal = 1 };
+
 /// Engine queue configuration.
 ///
 /// The default is the owned 4-ary heap.  `timer_wheel` routes every
@@ -106,8 +119,15 @@ class Engine {
   /// Schedules `fn` at absolute time `when` (must not be in the past).
   template <typename F>
   void schedule_at(Time when, F&& fn) {
+    schedule_at(when, Band::kNormal, std::forward<F>(fn));
+  }
+
+  /// Band-explicit variant: Band::kClaim events fire before every normal
+  /// event at the same timestamp, regardless of schedule order.
+  template <typename F>
+  void schedule_at(Time when, Band band, F&& fn) {
     if (when < now_) throw std::logic_error("Engine: scheduling in the past");
-    push_event(when, std::forward<F>(fn));
+    push_event(when, band, std::forward<F>(fn));
   }
 
   /// Schedules a cancellable event; see EventHandle.
@@ -115,7 +135,7 @@ class Engine {
   EventHandle schedule_cancellable(Time delay, F&& fn) {
     const Time when = now_ + delay;
     if (when < now_) throw std::logic_error("Engine: scheduling in the past");
-    EventRecord* rec = push_event(when, std::forward<F>(fn));
+    EventRecord* rec = push_event(when, Band::kNormal, std::forward<F>(fn));
     return EventHandle{this, rec, rec->gen};
   }
 
@@ -174,8 +194,15 @@ class Engine {
 
   /// Total number of events ever scheduled (the FIFO sequence counter).
   /// Two runs of the same workload must agree on this exactly — used to
-  /// assert that telemetry layers add no events to the simulation.
+  /// assert that telemetry layers add no events to the simulation, and
+  /// summed in LP-id order by ParallelCluster for cross-worker-count
+  /// determinism checks.
   [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_; }
+
+  /// Timestamp of the next live event, or false when the queue is
+  /// drained.  Used by the LP scheduler to pick the next conservative
+  /// synchronization window.
+  [[nodiscard]] bool next_event_time(Time& when) { return peek_next_when(when); }
 
   /// Event trace shared by every component driven by this engine
   /// (disabled by default; see sim::Trace).
@@ -201,11 +228,19 @@ class Engine {
     ~ReleaseGuard() { slab->release(rec); }
   };
 
+  /// The queue key's sequence field carries the band in its top bits, so
+  /// (when, seq) lexicographic order yields claims-before-normal per
+  /// timestamp with plain FIFO inside each band.  next_seq_ stays a pure
+  /// schedule counter (events_scheduled()).
+  static constexpr unsigned kBandShift = 62;
+
   template <typename F>
-  EventRecord* push_event(Time when, F&& fn) {
+  EventRecord* push_event(Time when, Band band, F&& fn) {
     EventRecord* rec = slab_.alloc();
     rec->fn.emplace(std::forward<F>(fn));
-    const EventKey k{when, next_seq_++, rec};
+    const std::uint64_t seq =
+        (static_cast<std::uint64_t>(band) << kBandShift) | next_seq_++;
+    const EventKey k{when, seq, rec};
     if (!wheel_ || !wheel_->insert(k, now_)) heap_.push(k);
     ++live_;
     return rec;

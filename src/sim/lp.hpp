@@ -1,0 +1,279 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::sim {
+
+/// One timestamped message crossing from one logical process to another.
+///
+/// `apply` runs on the destination LP (from the window loop, never from
+/// engine context) and typically schedules engine work at `when`; it may
+/// only touch destination-LP state.  (when, origin, seq) is a total
+/// order — `origin` is a globally unique source id (the sending node)
+/// and `seq` a per-origin monotonic counter — so sorting each window's
+/// inbound batch makes delivery order, and therefore engine sequence
+/// assignment, independent of worker count and OS scheduling.
+struct LpMessage {
+  Time when = 0;
+  std::uint32_t origin = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> apply;
+
+  [[nodiscard]] bool before(const LpMessage& o) const {
+    if (when != o.when) return when < o.when;
+    if (origin != o.origin) return origin < o.origin;
+    return seq < o.seq;
+  }
+};
+
+/// One logical process: an Engine plus in/out message queues.  The LP id
+/// must equal its registration index with the scheduler.  All engine and
+/// outbox access is confined to the worker currently executing this LP's
+/// window (or the coordinator between windows); the barrier protocol
+/// provides the necessary happens-before edges, so no per-LP locking is
+/// needed anywhere.
+class Lp {
+ public:
+  explicit Lp(int id, EngineConfig cfg = {}) : id_(id), engine_(cfg) {}
+
+  Lp(const Lp&) = delete;
+  Lp& operator=(const Lp&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+
+  /// Queues a message for another LP.  Only legal while this LP's window
+  /// executes.  `msg.when` must be at or beyond the current window's end
+  /// — that is the conservative-lookahead contract; violating it means
+  /// the lookahead passed to the scheduler exceeds the real minimum
+  /// latency of the model, which would silently break causality, so it
+  /// throws instead.
+  void post(int dst_lp, LpMessage msg) {
+    if (msg.when < min_safe_when_)
+      throw std::logic_error("Lp: message violates conservative lookahead");
+    outbox_.at(static_cast<std::size_t>(dst_lp)).push_back(std::move(msg));
+  }
+
+ private:
+  friend class LpScheduler;
+
+  int id_;
+  Engine engine_;
+  std::vector<std::vector<LpMessage>> outbox_;  // indexed by destination LP
+  std::vector<LpMessage> inbox_;
+  Time min_safe_when_ = 0;  // current window end; set by the scheduler
+};
+
+/// Centralized sense-reversing spin barrier for the window loop.  Spins
+/// briefly then yields, so it stays correct (if slower) when workers are
+/// oversubscribed on few cores.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties = 1) : parties_(parties) {}
+
+  /// Must only be called while no thread is inside arrive_and_wait().
+  void reset(unsigned parties) { parties_ = parties; }
+
+  void arrive_and_wait() {
+    if (parties_ <= 1) return;
+    const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      unsigned spins = 0;
+      while (gen_.load(std::memory_order_acquire) == gen)
+        if (++spins > 4096) std::this_thread::yield();
+    }
+  }
+
+ private:
+  unsigned parties_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+/// Conservative parallel discrete-event scheduler over logical processes.
+///
+/// Classic null-message-free window synchronization (the SimBricks /
+/// CMB-window scheme): with lookahead L — the minimum latency of any
+/// inter-LP link — every event in [T, T+L) is independent of events
+/// other LPs execute in the same window, because anything an LP sends
+/// from inside the window cannot take effect before T+L.  The loop is:
+///
+///   1. coordinator: route every outbox message to its destination
+///      inbox, pick T = min(next event, earliest queued message) over
+///      all LPs; done when queues and engines are all empty,
+///   2. barrier,
+///   3. all workers: for each owned LP, sort + apply inbound messages,
+///      then Engine::run_until just before T+L,
+///   4. barrier, repeat.
+///
+/// Determinism does not depend on the worker count: each LP's window is
+/// single-threaded over private state, inbound batches are sorted by the
+/// total (when, origin, seq) order before delivery, and routing runs on
+/// the coordinator in LP-id order.  The same loop executes for one
+/// worker and for eight — byte-identical results either way (asserted
+/// by test_determinism's multi-LP suite).
+class LpScheduler {
+ public:
+  /// `lookahead` must not exceed the true minimum inter-LP latency.
+  explicit LpScheduler(Time lookahead) : lookahead_(lookahead) {
+    if (lookahead_ <= 0)
+      throw std::logic_error("LpScheduler: lookahead must be positive");
+  }
+
+  /// Registers an LP; lp.id() must equal the registration index.
+  void add(Lp& lp) {
+    if (lp.id() != static_cast<int>(lps_.size()))
+      throw std::logic_error("LpScheduler: LP id must equal its index");
+    lps_.push_back(&lp);
+  }
+
+  [[nodiscard]] Time lookahead() const { return lookahead_; }
+  [[nodiscard]] std::size_t num_lps() const { return lps_.size(); }
+
+  /// Windows executed so far (monotone; for benches and tests).
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+  /// Cross-LP messages routed so far.
+  [[nodiscard]] std::uint64_t messages_routed() const { return messages_; }
+
+  /// Runs every LP to global quiescence.  `workers` = 0 sizes the team
+  /// automatically (shared pool soft capacity); an explicit count is
+  /// honoured exactly, as SweepRunner does.  Helpers come from
+  /// ThreadPool::shared(), so LP teams and sweep fan-out share one
+  /// thread budget.
+  void run(unsigned workers = 0) {
+    if (lps_.empty()) return;
+    for (Lp* lp : lps_)
+      lp->outbox_.resize(lps_.size());
+
+    unsigned want =
+        workers ? workers : ThreadPool::shared().soft_cap();
+    want = static_cast<unsigned>(
+        std::min<std::size_t>(want, lps_.size()));
+    if (want == 0) want = 1;
+
+    error_ = nullptr;
+    done_ = false;
+
+    if (want == 1) {
+      nworkers_ = 1;
+      worker_loop(0);
+    } else {
+      // The grant decides the team size, so helpers must not start the
+      // loop until the barrier is sized: hold them at a go-latch.
+      std::atomic<int> go{0};
+      auto helper = [this, &go](unsigned slot) {
+        while (go.load(std::memory_order_acquire) == 0)
+          std::this_thread::yield();
+        worker_loop(slot + 1);
+      };
+      ThreadPool::Team team = ThreadPool::shared().spawn(
+          want - 1, /*exact=*/workers != 0, helper);
+      nworkers_ = team.size() + 1;
+      barrier_.reset(nworkers_);
+      go.store(1, std::memory_order_release);
+      worker_loop(0);
+      ThreadPool::shared().join(team);
+    }
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  void worker_loop(unsigned w) {
+    for (;;) {
+      if (w == 0) plan_window();
+      barrier_.arrive_and_wait();
+      if (done_) return;
+      try {
+        for (std::size_t i = w; i < lps_.size(); i += nworkers_)
+          run_window(*lps_[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      barrier_.arrive_and_wait();
+    }
+  }
+
+  /// Coordinator step between windows: route outboxes (source-id order,
+  /// deterministic), then pick the next window or decide quiescence.
+  void plan_window() {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      if (error_) {
+        done_ = true;
+        return;
+      }
+    }
+    for (Lp* src : lps_) {
+      for (std::size_t d = 0; d < src->outbox_.size(); ++d) {
+        auto& out = src->outbox_[d];
+        if (out.empty()) continue;
+        messages_ += out.size();
+        auto& in = lps_[d]->inbox_;
+        in.insert(in.end(), std::make_move_iterator(out.begin()),
+                  std::make_move_iterator(out.end()));
+        out.clear();
+      }
+    }
+
+    Time start = std::numeric_limits<Time>::max();
+    for (Lp* lp : lps_) {
+      Time next;
+      if (lp->engine_.next_event_time(next)) start = std::min(start, next);
+      for (const LpMessage& m : lp->inbox_)
+        start = std::min(start, m.when);
+    }
+    if (start == std::numeric_limits<Time>::max()) {
+      done_ = true;
+      return;
+    }
+    window_end_ = start + lookahead_;
+    for (Lp* lp : lps_) lp->min_safe_when_ = window_end_;
+    ++windows_;
+  }
+
+  /// One LP's slice of the window: deliver the sorted inbound batch,
+  /// then run the engine up to (excluding) the window end.
+  void run_window(Lp& lp) {
+    if (!lp.inbox_.empty()) {
+      std::sort(lp.inbox_.begin(), lp.inbox_.end(),
+                [](const LpMessage& a, const LpMessage& b) {
+                  return a.before(b);
+                });
+      for (LpMessage& m : lp.inbox_) m.apply();
+      lp.inbox_.clear();
+    }
+    lp.engine_.run_until(window_end_ - 1);
+  }
+
+  Time lookahead_;
+  std::vector<Lp*> lps_;
+  SpinBarrier barrier_;
+  unsigned nworkers_ = 1;
+  Time window_end_ = 0;
+  bool done_ = false;
+  std::uint64_t windows_ = 0;
+  std::uint64_t messages_ = 0;
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace openmx::sim

@@ -37,4 +37,16 @@ class Rng {
   std::uint64_t state_;
 };
 
+/// Deterministic per-replica RNG seed: a SplitMix64 scramble of
+/// (base, replica), so every parameter point / replica of a sweep — and
+/// every per-source-node loss stream of the network — gets a decorrelated
+/// stream that does not depend on which worker thread runs it or in what
+/// order.
+inline std::uint64_t sweep_seed(std::uint64_t base, std::uint64_t replica) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (replica + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace openmx::sim

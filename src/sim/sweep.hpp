@@ -9,22 +9,17 @@
 #include <thread>
 #include <vector>
 
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+
 namespace openmx::sim {
 
-/// Deterministic per-replica RNG seed: a SplitMix64 scramble of
-/// (base, replica), so every parameter point / replica of a sweep gets a
-/// decorrelated stream that does not depend on which worker thread runs
-/// it or in what order.
-inline std::uint64_t sweep_seed(std::uint64_t base, std::uint64_t replica) {
-  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (replica + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 struct SweepOptions {
-  /// Worker threads; 0 = hardware concurrency, 1 = run inline on the
-  /// calling thread (useful as the determinism reference).
+  /// Worker threads; 0 = auto (the shared pool's soft capacity, i.e.
+  /// hardware concurrency), 1 = run inline on the calling thread (useful
+  /// as the determinism reference).  Explicit counts > 1 are honoured
+  /// exactly; auto-sized runs only use helpers the shared pool has idle,
+  /// so nested fan-outs never oversubscribe the machine.
   unsigned threads = 0;
 };
 
@@ -37,7 +32,7 @@ inline SweepOptions sweep_options_from_env() {
   return opts;
 }
 
-/// Fans independent experiment points across OS threads.
+/// Fans independent experiment points across the shared worker pool.
 ///
 /// Each job must be self-contained: it builds its own Cluster/Engine
 /// (the simulator substrate has no mutable global state, so engines in
@@ -47,8 +42,10 @@ inline SweepOptions sweep_options_from_env() {
 /// statistic — is bit-identical to sequential execution regardless of
 /// the worker count or OS scheduling (asserted by test_determinism).
 ///
-/// Throughput layer only: this parallelizes *across* experiments; each
-/// simulation itself stays strictly single-threaded and deterministic.
+/// This parallelizes *across* experiments; each simulation itself is
+/// either strictly single-threaded or internally parallelized by the
+/// multi-LP scheduler (sim/lp.hpp) — both draw from the same
+/// ThreadPool::shared(), so the combination cannot oversubscribe.
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
@@ -64,9 +61,10 @@ class SweepRunner {
 
   /// Runs `point(i)` for i in [0, n); jobs are claimed from an atomic
   /// counter, so workers stay busy even when job durations are skewed.
+  /// The calling thread always works too — helpers only add parallelism.
   void for_each(std::size_t n, const std::function<void(std::size_t)>& point) {
-    unsigned nthreads = opts_.threads ? opts_.threads
-                                      : std::thread::hardware_concurrency();
+    unsigned nthreads =
+        opts_.threads ? opts_.threads : ThreadPool::shared().soft_cap();
     if (nthreads == 0) nthreads = 1;
     if (static_cast<std::size_t>(nthreads) > n)
       nthreads = static_cast<unsigned>(n);
@@ -79,7 +77,7 @@ class SweepRunner {
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
-    auto worker = [&] {
+    auto worker = [&](unsigned) {
       for (;;) {
         if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -93,10 +91,10 @@ class SweepRunner {
         }
       }
     };
-    std::vector<std::thread> workers;
-    workers.reserve(nthreads);
-    for (unsigned t = 0; t < nthreads; ++t) workers.emplace_back(worker);
-    for (auto& t : workers) t.join();
+    ThreadPool::Team team = ThreadPool::shared().spawn(
+        nthreads - 1, /*exact=*/opts_.threads != 0, worker);
+    worker(nthreads - 1);
+    ThreadPool::shared().join(team);
     if (error) std::rethrow_exception(error);
   }
 

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace openmx::sim {
+
+/// Shared worker-thread pool behind every parallel layer of the harness.
+///
+/// SweepRunner (fan-out across experiments) and LpScheduler (fan-out of
+/// one experiment across logical processes) both draw helpers from the
+/// same pool, so a parallel sweep of parallel runs cannot oversubscribe
+/// the machine: auto-sized requests are capped at the pool's soft
+/// capacity (hardware concurrency, or OPENMX_POOL_THREADS), and whatever
+/// is busy simply is not granted — the caller always participates in its
+/// own work, so a request granted zero helpers degrades to sequential
+/// execution instead of deadlocking.
+///
+/// An *exact* request (an explicit worker count, e.g. a determinism test
+/// pinning 8 workers on a 2-core CI box) is honoured in full, growing
+/// extra threads if needed — the same semantics SweepOptions::threads
+/// always had.  Worker threads are created lazily and persist for the
+/// pool's lifetime.
+class ThreadPool {
+ public:
+  using Fn = std::function<void(unsigned)>;
+
+  /// Handle to a set of helpers dispatched by spawn(); join() must be
+  /// called exactly once before the handle is destroyed.
+  class Team {
+   public:
+    /// Helpers actually granted (<= requested).
+    [[nodiscard]] unsigned size() const { return state_ ? state_->total : 0; }
+
+   private:
+    friend class ThreadPool;
+    struct State {
+      std::mutex mu;
+      std::condition_variable done_cv;
+      unsigned total = 0;
+      unsigned remaining = 0;
+      std::exception_ptr error;
+    };
+    std::shared_ptr<State> state_;
+  };
+
+  explicit ThreadPool(unsigned soft_cap) : soft_cap_(soft_cap ? soft_cap : 1) {}
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Auto-sized parallelism budget for one caller (itself included):
+  /// the soft capacity, never less than 1.
+  [[nodiscard]] unsigned soft_cap() const { return soft_cap_; }
+
+  /// Dispatches `fn(slot)` for slot in [0, k) on up to `k` helper
+  /// threads and returns immediately.  With exact=false the grant is
+  /// limited to threads that are idle or may still be created under the
+  /// soft capacity; with exact=true all `k` helpers are granted, growing
+  /// the pool past the cap (explicit worker counts stay reproducible on
+  /// any machine).  Slots of granted helpers are 0..grant-1.
+  [[nodiscard]] Team spawn(unsigned k, bool exact, Fn fn) {
+    Team team;
+    team.state_ = std::make_shared<Team::State>();
+    unsigned grant = k;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!exact) {
+        const unsigned idle = idle_;
+        const unsigned growable =
+            soft_cap_ > threads_.size()
+                ? soft_cap_ - static_cast<unsigned>(threads_.size())
+                : 0;
+        grant = std::min(k, idle + growable);
+      }
+      team.state_->total = grant;
+      team.state_->remaining = grant;
+      const auto shared_fn = std::make_shared<Fn>(std::move(fn));
+      for (unsigned slot = 0; slot < grant; ++slot)
+        queue_.push_back(Job{shared_fn, slot, team.state_});
+      while (threads_.size() < busy_ + queue_.size())
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+    cv_.notify_all();
+    return team;
+  }
+
+  /// Blocks until every granted helper finished, then rethrows the first
+  /// helper exception, if any.
+  void join(Team& team) {
+    if (!team.state_) return;
+    std::unique_lock<std::mutex> lock(team.state_->mu);
+    team.state_->done_cv.wait(lock,
+                              [&] { return team.state_->remaining == 0; });
+    std::exception_ptr error = team.state_->error;
+    lock.unlock();
+    team.state_.reset();
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// The process-wide pool.  Soft capacity is OPENMX_POOL_THREADS when
+  /// set, else hardware concurrency.
+  static ThreadPool& shared() {
+    static ThreadPool pool(default_soft_cap());
+    return pool;
+  }
+
+  [[nodiscard]] static unsigned default_soft_cap() {
+    if (const char* env = std::getenv("OPENMX_POOL_THREADS")) {
+      const unsigned n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+      if (n > 0) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+  }
+
+ private:
+  struct Job {
+    std::shared_ptr<Fn> fn;
+    unsigned slot = 0;
+    std::shared_ptr<Team::State> team;
+  };
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++idle_;
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        --idle_;
+        if (stop_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.erase(queue_.begin());
+        ++busy_;
+      }
+      try {
+        (*job.fn)(job.slot);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(job.team->mu);
+        if (!job.team->error) job.team->error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        --busy_;
+      }
+      bool last = false;
+      {
+        const std::lock_guard<std::mutex> lock(job.team->mu);
+        last = --job.team->remaining == 0;
+      }
+      if (last) job.team->done_cv.notify_all();
+    }
+  }
+
+  const unsigned soft_cap_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Job> queue_;
+  std::vector<std::thread> threads_;
+  unsigned idle_ = 0;
+  unsigned busy_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace openmx::sim

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/parallel_cluster.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -540,6 +541,52 @@ TEST(Telemetry, EnablingEverythingDoesNotChangeSimTime) {
   const sim::Time on = run(true);
   EXPECT_EQ(off, on);
   EXPECT_GT(off, 0);
+}
+
+// ---------------------------------------------------------------------
+// Counter merge provenance across partitions
+// ---------------------------------------------------------------------
+
+// ParallelCluster::collect_metrics folds per-node and per-shard
+// registries in a fixed global order (node index, then LP index), and
+// events_scheduled() accumulates per-LP counts in LP-id order — so the
+// merged registry dump and the event total must be byte-identical no
+// matter how many workers executed the partitions.
+TEST(Registry, ParallelClusterMergeIsWorkerCountInvariant) {
+  auto run = [](unsigned workers) {
+    core::ParallelCluster cluster(4);
+    cluster.add_nodes(4, bench::cfg_omx());
+    std::vector<mem::Buffer> sb, rb;
+    for (int i = 0; i < 4; ++i) {
+      sb.emplace_back(8 * sim::KiB, static_cast<std::uint8_t>(i + 1));
+      rb.emplace_back(8 * sim::KiB, 0);
+    }
+    for (int i = 0; i < 4; ++i) {
+      const int next = (i + 1) % 4;
+      cluster.spawn(cluster.node(static_cast<std::size_t>(i)), 0,
+                    "n" + std::to_string(i), [&, i, next](core::Process& p) {
+                      core::Endpoint ep(p, i);
+                      auto* r = ep.irecv(rb[static_cast<std::size_t>(i)].data(),
+                                         8 * sim::KiB, 5);
+                      ep.wait(ep.isend(
+                          sb[static_cast<std::size_t>(i)].data(), 8 * sim::KiB,
+                          core::Addr{next, static_cast<std::uint16_t>(next)},
+                          5));
+                      ep.wait(r);
+                    });
+    }
+    cluster.run(workers);
+    obs::Registry reg;
+    cluster.collect_metrics(reg);
+    return std::make_pair(
+        render([&](std::FILE* f) { reg.dump_json(f); }),
+        cluster.events_scheduled());
+  };
+  const auto ref = run(1);
+  EXPECT_GT(ref.second, 0u);
+  EXPECT_NE(ref.first.find("nic.rx_frames"), std::string::npos);
+  EXPECT_EQ(run(4), ref);
+  EXPECT_EQ(run(2), ref);
 }
 
 }  // namespace

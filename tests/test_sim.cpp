@@ -2,17 +2,21 @@
 // SimThread handoff scheduler and the wait queue.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/event_slab.hpp"
 #include "sim/inline_fn.hpp"
+#include "sim/lp.hpp"
 #include "sim/rng.hpp"
 #include "sim/sim_thread.hpp"
 #include "sim/stats.hpp"
 #include "sim/sweep.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/time.hpp"
 
 namespace sim = openmx::sim;
@@ -553,4 +557,157 @@ TEST(Stats, CountersMergeAdds) {
   a.merge(b);
   EXPECT_EQ(a.get("x"), 5u);
   EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(Engine, ClaimBandFiresBeforeNormalAtSameTimestamp) {
+  // Rx-port claims must win every same-nanosecond tie regardless of
+  // scheduling order — that is what makes partitioned runs order the
+  // port arbitration identically to the sequential engine.
+  sim::Engine e;
+  std::vector<int> order;
+  e.schedule_at(10, [&] { order.push_back(1); });  // normal, scheduled first
+  e.schedule_at(10, sim::Band::kClaim, [&] { order.push_back(0); });
+  e.schedule_at(10, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] {
+    // A claim scheduled from a callback still beats normals queued earlier.
+    e.schedule_at(10, sim::Band::kClaim, [&] { order.push_back(-1); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, -1, 1, 2}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadlineAndAdvancesTime) {
+  sim::Engine e;
+  std::vector<sim::Time> fired;
+  for (sim::Time t : {10, 20, 30, 40})
+    e.schedule_at(t, [&, t] { fired.push_back(t); });
+  EXPECT_EQ(e.run_until(25), 25);
+  EXPECT_EQ(fired, (std::vector<sim::Time>{10, 20}));
+  EXPECT_EQ(e.now(), 25);         // idle time up to the deadline elapses
+  EXPECT_EQ(e.run_until(100), 100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(ThreadPool, ExactSpawnGrantsEveryHelper) {
+  // An explicit worker count must be honoured even past the soft cap —
+  // determinism tests pin 8 workers on any machine.
+  sim::ThreadPool pool(1);
+  std::atomic<unsigned> ran{0};
+  sim::ThreadPool::Team team =
+      pool.spawn(4, /*exact=*/true, [&](unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(team.size(), 4u);
+  pool.join(team);
+  EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST(ThreadPool, AutoSpawnStaysUnderSoftCap) {
+  sim::ThreadPool pool(2);
+  std::atomic<unsigned> ran{0};
+  sim::ThreadPool::Team team =
+      pool.spawn(8, /*exact=*/false, [&](unsigned) { ran.fetch_add(1); });
+  const unsigned granted = team.size();  // join() consumes the handle
+  EXPECT_LE(granted, 2u);
+  pool.join(team);
+  EXPECT_EQ(ran.load(), granted);
+}
+
+TEST(ThreadPool, NestedSpawnDoesNotDeadlock) {
+  // A sweep job that itself runs a multi-LP simulation draws helpers
+  // from the same pool; the inner request may be granted nothing, and
+  // the caller always participates, so the nesting must complete.
+  sim::ThreadPool pool(2);
+  std::atomic<unsigned> inner_done{0};
+  sim::ThreadPool::Team outer =
+      pool.spawn(2, /*exact=*/true, [&](unsigned) {
+        sim::ThreadPool::Team inner = pool.spawn(
+            4, /*exact=*/false, [&](unsigned) { inner_done.fetch_add(1); });
+        pool.join(inner);
+        inner_done.fetch_add(1);
+      });
+  pool.join(outer);
+  EXPECT_GE(inner_done.load(), 2u);  // both outer jobs finished
+}
+
+TEST(ThreadPool, JoinRethrowsHelperError) {
+  sim::ThreadPool pool(2);
+  sim::ThreadPool::Team team = pool.spawn(2, /*exact=*/true, [](unsigned s) {
+    if (s == 1) throw std::runtime_error("helper failed");
+  });
+  EXPECT_THROW(pool.join(team), std::runtime_error);
+}
+
+namespace {
+
+// A bounded cross-LP ping-pong at the raw scheduler level: each hop
+// posts the next message one lookahead ahead.  Returns the per-LP event
+// traces (times at which each side handled a hop).
+std::vector<std::vector<sim::Time>> lp_pingpong(unsigned workers, int hops,
+                                                sim::Time lookahead) {
+  sim::Lp a(0), b(1);
+  sim::LpScheduler sched(lookahead);
+  sched.add(a);
+  sched.add(b);
+  std::vector<std::vector<sim::Time>> trace(2);
+
+  // hop() runs on the LP that just received the ball and posts it onward.
+  std::function<void(sim::Lp&, sim::Lp&, int)> hop = [&](sim::Lp& self,
+                                                         sim::Lp& peer,
+                                                         int remaining) {
+    trace[static_cast<std::size_t>(self.id())].push_back(self.engine().now());
+    if (remaining == 0) return;
+    const sim::Time when = self.engine().now() + lookahead;
+    sim::LpMessage msg;
+    msg.when = when;
+    msg.origin = static_cast<std::uint32_t>(self.id());
+    msg.seq = static_cast<std::uint64_t>(remaining);
+    msg.apply = [&, when, remaining] {
+      peer.engine().schedule_at(
+          when, [&, remaining] { hop(peer, self, remaining - 1); });
+    };
+    self.post(peer.id(), std::move(msg));
+  };
+  a.engine().schedule_at(0, [&] { hop(a, b, hops); });
+  sched.run(workers);
+  return trace;
+}
+
+}  // namespace
+
+TEST(LpScheduler, CrossLpPingPongIdenticalAcrossWorkerCounts) {
+  const auto ref = lp_pingpong(1, 16, 100);
+  EXPECT_EQ(ref[0].size() + ref[1].size(), 17u);
+  EXPECT_EQ(lp_pingpong(2, 16, 100), ref);
+  EXPECT_EQ(lp_pingpong(2, 16, 100), ref);  // re-run: identical again
+}
+
+TEST(LpScheduler, WindowsSkipIdleVirtualTime) {
+  // Two sparse events 1 ms apart must not cost ~10000 lookahead windows:
+  // the coordinator jumps each window start to the global next event.
+  sim::Lp a(0), b(1);
+  sim::LpScheduler sched(100);
+  sched.add(a);
+  sched.add(b);
+  int fired = 0;
+  a.engine().schedule_at(0, [&] { ++fired; });
+  b.engine().schedule_at(sim::kMillisecond, [&] { ++fired; });
+  sched.run(1);
+  EXPECT_EQ(fired, 2);
+  EXPECT_LE(sched.windows_run(), 4u);
+}
+
+TEST(LpScheduler, LookaheadViolationThrows) {
+  // Posting a message inside the current window means the configured
+  // lookahead overstates the real minimum latency — a silent causality
+  // break, so it must throw instead.
+  sim::Lp a(0), b(1);
+  sim::LpScheduler sched(100);
+  sched.add(a);
+  sched.add(b);
+  a.engine().schedule_at(50, [&] {
+    sim::LpMessage msg;
+    msg.when = a.engine().now();  // inside the window: illegal
+    msg.apply = [] {};
+    a.post(1, std::move(msg));
+  });
+  EXPECT_THROW(sched.run(1), std::logic_error);
 }

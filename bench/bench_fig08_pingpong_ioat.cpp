@@ -31,7 +31,8 @@ int main() {
   // trace out, per-message waterfalls showing the Fig. 8 overlap window.
   std::printf("\n--- instrumented 1MB ping-pong (spans + timeline) ---\n");
   const TracedResult tr = traced_pingpong(
-      cfg_omx_ioat(), sim::MiB, 2, "BENCH_fig08_trace.json", &metrics);
+      cfg_omx_ioat(), sim::MiB, 2, out_path("BENCH_fig08_trace.json"),
+      &metrics);
   std::printf("1MB one-way %.1f us, avg dma-overlap %.3f us over %zu spans\n",
               sim::to_micros(tr.oneway), tr.avg_overlap_us, tr.num_spans);
   emit_metrics_json("fig08_pingpong_ioat", metrics);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "flow_xval.hpp"
 #include "lp_mesh.hpp"
 #include "obs/attrib.hpp"
 
@@ -72,7 +73,7 @@ std::vector<Metric> compute_metrics() {
   // Fig. 8 overlap + latency attribution at 1 MB (the instrumented run).
   bench::TracedResult tr =
       bench::traced_pingpong(bench::cfg_omx_ioat(), kM, 3,
-                             "BENCH_guard_trace.json", nullptr,
+                             bench::out_path("BENCH_guard_trace.json"), nullptr,
                              /*print_waterfall=*/false);
   if (tr.report.sum_mismatches()) {
     std::fprintf(stderr,
@@ -107,15 +108,57 @@ std::vector<Metric> compute_metrics() {
   // the sequential engine on the same ring mesh.  This is a wall-clock
   // ratio, so it is machine-normalized (both runs execute on the same
   // box) but still noisy — the generous band only catches a partitioned
-  // path that suddenly costs multiples of the sequential one.
+  // path that suddenly costs multiples of the sequential one.  The
+  // committed baseline is 1.0 with the barrier-backoff regression floor:
+  // the w1 partitioned path must stay >= 0.95x of sequential (a
+  // collapsing spin barrier shows up here first).
   {
-    const bench::SimSpeedPoint seq = bench::sim_speed_sequential(8, 12);
-    const bench::SimSpeedPoint w1 = bench::sim_speed_multi_lp(8, 1, 12);
-    m.push_back({"sim_speed.par_ratio_w1",
-                 seq.events_per_sec > 0
-                     ? w1.events_per_sec / seq.events_per_sec
-                     : 0,
-                 0.40});
+    auto w1_parity = [] {
+      const bench::SimSpeedPoint seq = bench::sim_speed_sequential(8, 12);
+      const bench::SimSpeedPoint w1 = bench::sim_speed_multi_lp(8, 1, 12);
+      return seq.events_per_sec > 0 ? w1.events_per_sec / seq.events_per_sec
+                                    : 0;
+    };
+    double ratio = w1_parity();
+    // Hard floor from the spin-barrier backoff fix: the partitioned path
+    // must not fall below 0.95x of sequential.  One retry absorbs a
+    // transient scheduler hiccup; two consecutive misses is a real
+    // regression (the pre-backoff barrier measured 0.82x here).
+    if (ratio < 0.95) ratio = std::max(ratio, w1_parity());
+    if (ratio < 0.95) {
+      std::fprintf(stderr,
+                   "bench_guard: w1 parity %.3f below the 0.95 floor "
+                   "(spin-barrier oversubscription regression?)\n",
+                   ratio);
+      std::exit(1);
+    }
+    m.push_back({"sim_speed.par_ratio_w1", ratio, 0.40});
+  }
+
+  // Hybrid-fidelity cross-validation: the fluid FlowNetwork against the
+  // exact packet engine on the same ping-pong curves.  Both sides are
+  // deterministic simulations, so these ratios are machine-independent
+  // and the bands can be tight; a committed value near 1.0 is the
+  // acceptance criterion that flow-level curves track the packet-level
+  // figure baselines.
+  {
+    const core::OmxConfig nc = bench::cfg_omx_nocopy();
+    const sim::Time ov = bench::flow_calibrate_pingpong(nc);
+    m.push_back({"xval.pingpong_256kB_ratio",
+                 bench::xval_pingpong_ratio(nc, k256, 6, ov), 0.05});
+    m.push_back({"xval.pingpong_1MB_ratio",
+                 bench::xval_pingpong_ratio(nc, kM, 4, ov), 0.05});
+    m.push_back({"xval.pingpong_4MB_ratio",
+                 bench::xval_pingpong_ratio(nc, 4 * kM, 3, ov), 0.05});
+    const sim::Time ov_imb = bench::flow_calibrate_imb(nc);
+    m.push_back({"xval.imb_pingpong_1MB_ratio",
+                 bench::xval_imb_ratio(nc, kM, 4, ov_imb), 0.05});
+    // Solver throughput, measured as an integer-derived invariant rather
+    // than wall clock: flow-visits per completed flow on the canonical
+    // disjoint-pair background workload.  Growth here means incremental
+    // re-solve stopped being O(component).
+    m.push_back({"flow.solver_visits_per_flow",
+                 bench::flow_solver_visits_per_flow(1024, 4), 0.25});
   }
   return m;
 }

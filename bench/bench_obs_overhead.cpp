@@ -74,7 +74,8 @@ int main() {
               on.msgs_per_sec);
   std::printf("full-telemetry overhead: %.1f%%\n", overhead_pct);
 
-  if (std::FILE* f = std::fopen("BENCH_obs_overhead.json", "w")) {
+  const std::string out = openmx::bench::out_path("BENCH_obs_overhead.json");
+  if (std::FILE* f = std::fopen(out.c_str(), "w")) {
     std::fprintf(f,
                  "{\n"
                  "  \"telemetry_off\": {\"wall_ms\": %.1f, \"msgs_per_sec\": "
@@ -86,7 +87,7 @@ int main() {
                  off.wall_ms, off.msgs_per_sec, on.wall_ms, on.msgs_per_sec,
                  overhead_pct);
     std::fclose(f);
-    std::printf("written to BENCH_obs_overhead.json\n");
+    std::printf("written to %s\n", out.c_str());
   }
   return 0;
 }

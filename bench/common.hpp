@@ -5,6 +5,7 @@
 // standard configurations (native MX, Open-MX, Open-MX + I/OAT, ...).
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -82,14 +83,28 @@ inline void collect_cluster_metrics(Cluster& cluster, obs::Registry& out) {
   out.merge(cluster.network().counters());
 }
 
-/// Prints the metrics block to stdout and writes it next to the binary as
-/// BENCH_<name>_metrics.json — every bench_fig* target calls this so each
-/// run leaves a machine-readable record of its counters and histograms.
+/// Where bench artifacts (BENCH_*.json metrics, traces) land: the
+/// OMX_BENCH_OUT_DIR directory when set, else the current directory.
+/// Every file a bench emits at runtime goes through this one helper, so
+/// `OMX_BENCH_OUT_DIR=build ctest` keeps the source tree clean — the
+/// committed reference data lives in bench/baselines/ only.
+inline std::string out_path(const std::string& filename) {
+  const char* dir = std::getenv("OMX_BENCH_OUT_DIR");
+  if (!dir || !*dir) return filename;
+  std::string p(dir);
+  if (p.back() != '/') p += '/';
+  return p + filename;
+}
+
+/// Prints the metrics block to stdout and writes it to
+/// out_path("BENCH_<name>_metrics.json") — every bench_fig* target calls
+/// this so each run leaves a machine-readable record of its counters and
+/// histograms.
 inline void emit_metrics_json(const std::string& bench_name,
                               const obs::Registry& reg) {
   std::printf("\n--- metrics: %s ---\n", bench_name.c_str());
   reg.dump_json(stdout);
-  const std::string path = "BENCH_" + bench_name + "_metrics.json";
+  const std::string path = out_path("BENCH_" + bench_name + "_metrics.json");
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     reg.dump_json(f);
     std::fclose(f);

@@ -1,0 +1,126 @@
+#pragma once
+
+// Hybrid-fidelity router: one fabric, two models.  Foreground nodes (the
+// hosts under study) keep the exact per-frame packet engine — rx-claim
+// arbitration, fault::Plan injection, ring-slot accounting, everything —
+// while background endpoints move whole transfers through the fluid
+// FlowNetwork at O(active flows).  The two sides contend for the same
+// link capacities through the LinkThrottle coupling:
+//
+//   flow → packet: foreground frames serialize at the port's *residual*
+//     rate while background flows hold it (Network divides its line rate
+//     by tx_share/rx_share);
+//   packet → flow: every foreground frame is reported to the fluid model
+//     (on_wire → note_foreground), which reserves a sliding-window
+//     average of that byte rate out of the shared port capacity before
+//     solving fair shares.
+//
+// With coupling disabled — or with no background flows and no foreground
+// frames on a shared port — both models behave exactly as they do alone;
+// the packet side is bit-identical to a run with no HybridNetwork at all
+// (test_flow asserts this).
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/network.hpp"
+#include "sim/stats.hpp"
+
+namespace openmx::net {
+
+/// Which model carries a node's traffic.
+enum class Fidelity : std::uint8_t {
+  kPacket = 0,  // exact per-frame semantics (foreground)
+  kFlow = 1,    // fluid fair-share flows (background)
+};
+
+/// Partitions the endpoint space between the packet and the fluid model
+/// and couples their link capacities.  Construction installs the
+/// coupling on the packet network; destruction removes it.
+///
+/// Usage: foreground nodes keep transmitting through the packet Network
+/// they were wired to (same object, unchanged call sites); background
+/// traffic enters through transfer(), which requires its source to be
+/// flow-fidelity.  Node ids index one shared endpoint space, so a port's
+/// capacity is contended by whichever model's traffic crosses it.
+class HybridNetwork final : public LinkThrottle {
+ public:
+  HybridNetwork(Network& packet, FlowNetwork& flow)
+      : packet_(packet), flow_(flow) {
+    packet_.set_link_throttle(this);
+    c_fg_frames_ = &counters_.counter("hybrid.fg_frames");
+    c_fg_bytes_ = &counters_.counter("hybrid.fg_wire_bytes");
+    c_bg_flows_ = &counters_.counter("hybrid.bg_flows");
+  }
+
+  ~HybridNetwork() override {
+    if (packet_.link_throttle() == this) packet_.set_link_throttle(nullptr);
+  }
+
+  HybridNetwork(const HybridNetwork&) = delete;
+  HybridNetwork& operator=(const HybridNetwork&) = delete;
+
+  [[nodiscard]] Network& packet() { return packet_; }
+  [[nodiscard]] FlowNetwork& flow() { return flow_; }
+
+  /// Marks node ids [first, first+count) as `f`; unmentioned nodes
+  /// default to packet fidelity, so existing two-node experiments need
+  /// no partition setup at all.
+  void set_fidelity(int first, int count, Fidelity f) {
+    const auto end = static_cast<std::size_t>(first + count);
+    if (fidelity_.size() < end) fidelity_.resize(end, Fidelity::kPacket);
+    for (std::size_t i = static_cast<std::size_t>(first); i < end; ++i)
+      fidelity_[i] = f;
+    if (f == Fidelity::kFlow) flow_.ensure_endpoints(end);
+  }
+
+  [[nodiscard]] Fidelity fidelity(int node) const {
+    const auto i = static_cast<std::size_t>(node);
+    return i < fidelity_.size() ? fidelity_[i] : Fidelity::kPacket;
+  }
+
+  /// Background transfer through the fluid model.  The source must be a
+  /// flow-fidelity endpoint (foreground nodes keep exact frame
+  /// semantics and must go through the packet path); the destination may
+  /// be either — a flow landing on a foreground node models bulk
+  /// background ingress without per-frame cost.
+  FlowId transfer(int src, int dst, std::size_t bytes, FlowCallback cb = {}) {
+    if (fidelity(src) != Fidelity::kFlow)
+      throw std::logic_error(
+          "HybridNetwork: transfer source must be flow-fidelity");
+    c_bg_flows_->add();
+    return flow_.transfer(src, dst, bytes, std::move(cb));
+  }
+
+  /// Uncouples the two models (both run as if alone) without tearing the
+  /// router down; used by parity tests and as an escape hatch.
+  void set_coupling(bool on) {
+    packet_.set_link_throttle(on ? this : nullptr);
+  }
+
+  [[nodiscard]] const sim::Counters& counters() const { return counters_; }
+
+  // ---- LinkThrottle (called by the packet network per frame) -------------
+
+  double tx_share(int node) override { return flow_.tx_share(node); }
+  double rx_share(int node) override { return flow_.rx_share(node); }
+  void on_wire(int src, int dst, std::size_t wire_bytes) override {
+    c_fg_frames_->add();
+    c_fg_bytes_->add(wire_bytes);
+    flow_.note_foreground(src, dst, wire_bytes);
+  }
+
+ private:
+  Network& packet_;
+  FlowNetwork& flow_;
+  std::vector<Fidelity> fidelity_;
+  sim::Counters counters_;
+  obs::Counter* c_fg_frames_ = nullptr;
+  obs::Counter* c_fg_bytes_ = nullptr;
+  obs::Counter* c_bg_flows_ = nullptr;
+};
+
+}  // namespace openmx::net

@@ -23,6 +23,23 @@ struct Counter {
   void reset() { value = 0; }
 };
 
+/// One named level gauge: a value that goes up and down (active flows,
+/// ring occupancy), with its high-water mark tracked on every update.
+/// Counters are monotone and merge by addition; gauges are instantaneous
+/// and merge by taking the componentwise maximum — summing two shards'
+/// peaks would overstate a level neither shard ever saw.
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+
+  void set(std::int64_t v) {
+    value = v;
+    peak = std::max(peak, v);
+  }
+  void add(std::int64_t delta) { set(value + delta); }
+  void reset() { value = peak = 0; }
+};
+
 /// Log-bucketed HDR-style histogram of non-negative integer samples
 /// (latencies in ns, sizes in bytes).
 ///
@@ -144,6 +161,13 @@ class Registry {
     return it->second;
   }
 
+  [[nodiscard]] Gauge& gauge(std::string_view name) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+      it = gauges_.emplace(std::string(name), Gauge{}).first;
+    return it->second;
+  }
+
   // ----- sim::Counters-compatible string API (cold paths, tests) -----
 
   void add(std::string_view name, std::uint64_t delta = 1) {
@@ -163,17 +187,27 @@ class Registry {
   all_histograms() const {
     return histograms_;
   }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& all_gauges()
+      const {
+    return gauges_;
+  }
 
   void merge(const Registry& o) {
     for (const auto& [name, c] : o.counters_)
       if (c.value) counter(name).add(c.value);
     for (const auto& [name, h] : o.histograms_)
       if (h.count()) histogram(name).merge(h);
+    for (const auto& [name, g] : o.gauges_) {
+      Gauge& mine = gauge(name);
+      mine.value = std::max(mine.value, g.value);
+      mine.peak = std::max(mine.peak, g.peak);
+    }
   }
 
   void reset() {
     for (auto& kv : counters_) kv.second.reset();
     for (auto& kv : histograms_) kv.second.reset();
+    for (auto& kv : gauges_) kv.second.reset();
   }
 
   /// Machine-readable dump: counters plus histogram summary statistics,
@@ -204,12 +238,28 @@ class Registry {
           static_cast<unsigned long long>(h.max()));
       first = false;
     }
-    std::fprintf(out, "\n%s  }\n%s}\n", p, p);
+    std::fprintf(out, "\n%s  }", p);
+    // Emitted only when present, so registries without gauges keep the
+    // exact two-section JSON shape of the committed baselines.
+    if (!gauges_.empty()) {
+      std::fprintf(out, ",\n%s  \"gauges\": {", p);
+      first = true;
+      for (const auto& [name, g] : gauges_) {
+        std::fprintf(out, "%s\n%s    \"%s\": {\"value\": %lld, \"peak\": %lld}",
+                     first ? "" : ",", p, name.c_str(),
+                     static_cast<long long>(g.value),
+                     static_cast<long long>(g.peak));
+        first = false;
+      }
+      std::fprintf(out, "\n%s  }", p);
+    }
+    std::fprintf(out, "\n%s}\n", p);
   }
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
 };
 
 }  // namespace openmx::obs

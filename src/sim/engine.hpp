@@ -36,7 +36,13 @@ using EventFn = InlineFn<48>;
 /// by an explicit location-independent key (see net::Network's claim
 /// heaps).  With claims lifted out of FIFO tie-breaking, a partitioned
 /// run dispatches bit-identically to the single-engine run.
-enum class Band : std::uint8_t { kClaim = 0, kNormal = 1 };
+///
+/// kFlow sits between claims and normal events: the fluid network's
+/// flow-completion events fire there, so any normal event at the same
+/// nanosecond observes post-completion fair-share rates (and, like
+/// claims, completions keep a location-independent identity — the flow
+/// id — when the fluid fabric is sharded across LPs).
+enum class Band : std::uint8_t { kClaim = 0, kFlow = 1, kNormal = 2 };
 
 /// Engine queue configuration.
 ///
@@ -133,9 +139,16 @@ class Engine {
   /// Schedules a cancellable event; see EventHandle.
   template <typename F>
   EventHandle schedule_cancellable(Time delay, F&& fn) {
+    return schedule_cancellable(delay, Band::kNormal, std::forward<F>(fn));
+  }
+
+  /// Band-explicit cancellable variant (the fluid network reschedules its
+  /// Band::kFlow completion events whenever fair-share rates change).
+  template <typename F>
+  EventHandle schedule_cancellable(Time delay, Band band, F&& fn) {
     const Time when = now_ + delay;
     if (when < now_) throw std::logic_error("Engine: scheduling in the past");
-    EventRecord* rec = push_event(when, Band::kNormal, std::forward<F>(fn));
+    EventRecord* rec = push_event(when, band, std::forward<F>(fn));
     return EventHandle{this, rec, rec->gen};
   }
 

@@ -171,3 +171,116 @@ TEST(Network, InterruptCostChargedToBhCore) {
   EXPECT_EQ(fx.m1.busy(1, cpu::Cat::BottomHalf),
             fx.network.params().intr_ns);
 }
+
+// ---- rx-claim arbitration edge cases ----------------------------------
+// The claim heap orders same-nanosecond contenders by the
+// location-independent key (claim_time, src_node, src_seq); these tests
+// pin the tie-breaking behavior that the multi-LP partitioning relies on.
+
+namespace {
+
+/// Three nodes on one fabric: two senders contending for node 1's rx port.
+struct Fixture3 {
+  sim::Engine engine;
+  cpu::Machine m0{engine}, m1{engine}, m2{engine};
+  openmx::mem::MemBus b0, b1, b2;
+  net::Network network{engine};
+  net::Nic nic0{engine, m0, b0, 0, 1};
+  net::Nic nic1{engine, m1, b1, 1, 1};
+  net::Nic nic2{engine, m2, b2, 2, 1};
+
+  Fixture3() {
+    network.attach(nic0);
+    network.attach(nic1);
+    network.attach(nic2);
+  }
+
+  void send(int from, int to, std::size_t bytes, int tag = 0) {
+    net::Frame f;
+    f.src_node = from;
+    f.dst_node = to;
+    f.wire_bytes = bytes;
+    f.payload = std::make_shared<TestPayload>(tag);
+    network.transmit(std::move(f));
+  }
+};
+
+/// Duplicates the first `count` matching frames, `copies` extra each —
+/// a minimal injector for exercising the claim heap without the fault
+/// library.
+struct DupFirst : net::FaultInjector {
+  int remaining;
+  int copies;
+  DupFirst(int count, int c) : remaining(count), copies(c) {}
+  net::FaultDecision on_transmit(const net::Frame&) override {
+    net::FaultDecision d;
+    if (remaining > 0) {
+      --remaining;
+      d.duplicates = copies;
+    }
+    return d;
+  }
+};
+
+}  // namespace
+
+TEST(RxClaim, SameNanosecondClaimsServeInSrcNodeOrder) {
+  // Both senders transmit the same size at the same engine instant, so
+  // their claims carry identical claim_times.  The heap must serve src 0
+  // before src 2 even though src 2's transmit ran first — arbitration
+  // follows the key, not call order (and therefore not LP placement).
+  Fixture3 fx;
+  std::vector<int> arrival_src;
+  std::vector<sim::Time> arrival_at;
+  fx.nic1.set_rx_callback([&](net::Skbuff skb) {
+    arrival_src.push_back(skb.src_node());
+    arrival_at.push_back(fx.engine.now());
+  });
+  fx.send(2, 1, 4096);
+  fx.send(0, 1, 4096);
+  fx.engine.run();
+  ASSERT_EQ(arrival_src.size(), 2u);
+  EXPECT_EQ(arrival_src, (std::vector<int>{0, 2}));
+  // The loser serializes right behind the winner on the shared rx port.
+  const sim::Time ser = fx.network.serialization_time(4096);
+  EXPECT_EQ(arrival_at[1] - arrival_at[0], ser);
+}
+
+TEST(RxClaim, DuplicateFaultFramesQueueBehindTheOriginal) {
+  // A duplicated frame shares the original's claim_time but takes fresh
+  // src_seq values, so every copy lines up behind the original in heap
+  // order and serializes back-to-back on the rx port — duplicates are
+  // real extra frames, not free deliveries.
+  Fixture fx;
+  DupFirst dup(/*count=*/1, /*copies=*/2);
+  fx.network.set_fault_injector(&dup);
+  std::vector<sim::Time> arrivals;
+  fx.nic1.set_rx_callback([&](net::Skbuff skb) {
+    arrivals.push_back(fx.engine.now());
+    EXPECT_EQ(skb.as<TestPayload>().value, 9);
+  });
+  fx.send(0, 1, 2048, 9);
+  fx.engine.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const sim::Time ser = fx.network.serialization_time(2048);
+  EXPECT_EQ(arrivals[1] - arrivals[0], ser);
+  EXPECT_EQ(arrivals[2] - arrivals[1], ser);
+  EXPECT_EQ(fx.network.counters().get("net.fault_dup_frames"), 2u);
+}
+
+TEST(RxClaim, DuplicatesInterleaveWithAContendingSenderByKey) {
+  // Duplicate copies of src 0's frame and a same-instant frame from
+  // src 2 all carry the same claim_time; the total key order is then
+  // (src_node, src_seq): original 0, dup 0, dup 0, then src 2.
+  Fixture3 fx;
+  DupFirst dup(1, 2);
+  fx.network.set_fault_injector(&dup);
+  std::vector<int> arrival_src;
+  fx.nic1.set_rx_callback([&](net::Skbuff skb) {
+    arrival_src.push_back(skb.src_node());
+  });
+  fx.send(2, 1, 4096);  // injector sees this first: it gets duplicated
+  fx.send(0, 1, 4096);
+  fx.engine.run();
+  EXPECT_EQ(arrival_src, (std::vector<int>{0, 2, 2, 2}));
+}

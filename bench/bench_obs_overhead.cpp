@@ -1,53 +1,69 @@
 // Telemetry overhead check: runs the same ping-pong workload with all
-// telemetry off and with every obs subsystem on (typed trace, spans,
-// utilization timeline, counters are always on), and reports the
-// wall-clock cost of each.  The ISSUE contract is that telemetry-off
-// throughput stays within 2 % of the pre-telemetry baseline; this bench
-// gives the number reviewers need to check that, and quantifies what
-// turning everything on costs.
+// telemetry off, with every opt-in obs subsystem on (typed trace, spans,
+// utilization timeline; counters are always on), with only the always-on
+// flight recorder attached, and with only the live run monitor polling —
+// and reports the wall-clock cost of each.  The ISSUE contracts are that
+// telemetry-off throughput stays within 2 % of the pre-telemetry
+// baseline, and that the always-on recorder ring costs < 3 % on the
+// Fig. 8 ping-pong path (pinned by the obs.recorder_overhead guard row).
 #include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
+#include "obs/flight.hpp"
 
 using namespace openmx;
 using namespace openmx::bench;
 
 namespace {
 
+enum class Mode { kOff, kAll, kRecorder, kMonitor };
+
 struct Sample {
   double wall_ms = 0;
   double msgs_per_sec = 0;  // simulated messages per wall second
 };
 
-/// One measured configuration: `reps` ping-pong simulations, telemetry
-/// toggled per `on`.  The workload mixes an eager and a large size so both
-/// the packet-dispatch and the descriptor-submit hot paths are exercised.
-Sample run(bool on, int reps) {
+/// One measured configuration: `reps` ping-pong simulations with the
+/// chosen obs layer active.  The workload mixes an eager and a large size
+/// so both the packet-dispatch and the descriptor-submit hot paths are
+/// exercised.
+Sample run(Mode mode, int reps) {
   using clock = std::chrono::steady_clock;
   const int iters = 30;
   int msgs = 0;
-  const auto t0 = clock::now();
-  for (int r = 0; r < reps; ++r) {
+
+  auto run_once = [&](std::size_t len, int n) {
     Cluster cluster;
     cluster.add_nodes(2, cfg_omx_ioat());
-    if (on) {
-      cluster.engine().trace().enable();
-      cluster.engine().spans().enable();
-      cluster.engine().timeline().enable();
+    obs::FlightRecorder fr(1, 256);
+    obs::Monitor monitor(cluster.network().counters(),
+                         100 * sim::kMicrosecond);
+    obs::Monitor* poll = nullptr;
+    switch (mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kAll:
+        cluster.engine().trace().enable();
+        cluster.engine().spans().enable();
+        cluster.engine().timeline().enable();
+        break;
+      case Mode::kRecorder:
+        cluster.engine().trace().attach_flight(&fr, 0);
+        break;
+      case Mode::kMonitor:
+        monitor.watch("net.tx_frames");
+        poll = &monitor;
+        break;
     }
-    run_pingpong(cluster, 4 * sim::KiB, iters, 1);
-    msgs += 2 * iters;
+    run_pingpong(cluster, len, n, 1, poll);
+    msgs += 2 * n;
+  };
 
-    Cluster big;
-    big.add_nodes(2, cfg_omx_ioat());
-    if (on) {
-      big.engine().trace().enable();
-      big.engine().spans().enable();
-      big.engine().timeline().enable();
-    }
-    run_pingpong(big, sim::MiB, iters / 6, 1);
-    msgs += 2 * (iters / 6);
+  const auto t0 = clock::now();
+  for (int r = 0; r < reps; ++r) {
+    run_once(4 * sim::KiB, iters);
+    run_once(sim::MiB, iters / 6);
   }
   const auto t1 = clock::now();
   Sample s;
@@ -57,22 +73,30 @@ Sample run(bool on, int reps) {
   return s;
 }
 
+double pct_over(const Sample& base, const Sample& other) {
+  return 100.0 * (base.msgs_per_sec / other.msgs_per_sec - 1.0);
+}
+
 }  // namespace
 
 int main() {
   const int reps = 6;
-  run(false, 1);  // warm caches/allocator before measuring
-  const Sample off = run(false, reps);
-  const Sample on = run(true, reps);
-  const double overhead_pct = 100.0 * (off.msgs_per_sec / on.msgs_per_sec - 1.0);
+  run(Mode::kOff, 1);  // warm caches/allocator before measuring
+  const Sample off = run(Mode::kOff, reps);
+  const Sample on = run(Mode::kAll, reps);
+  const Sample rec = run(Mode::kRecorder, reps);
+  const Sample mon = run(Mode::kMonitor, reps);
 
   std::printf("=== telemetry overhead (ping-pong 4kB + 1MB, %d reps) ===\n",
               reps);
-  std::printf("telemetry off: %8.1f ms  %8.0f msgs/s\n", off.wall_ms,
+  std::printf("telemetry off:  %8.1f ms  %8.0f msgs/s\n", off.wall_ms,
               off.msgs_per_sec);
-  std::printf("telemetry on:  %8.1f ms  %8.0f msgs/s\n", on.wall_ms,
-              on.msgs_per_sec);
-  std::printf("full-telemetry overhead: %.1f%%\n", overhead_pct);
+  std::printf("telemetry on:   %8.1f ms  %8.0f msgs/s  (%.1f%% overhead)\n",
+              on.wall_ms, on.msgs_per_sec, pct_over(off, on));
+  std::printf("recorder only:  %8.1f ms  %8.0f msgs/s  (%.1f%% overhead)\n",
+              rec.wall_ms, rec.msgs_per_sec, pct_over(off, rec));
+  std::printf("monitor only:   %8.1f ms  %8.0f msgs/s  (%.1f%% overhead)\n",
+              mon.wall_ms, mon.msgs_per_sec, pct_over(off, mon));
 
   const std::string out = openmx::bench::out_path("BENCH_obs_overhead.json");
   if (std::FILE* f = std::fopen(out.c_str(), "w")) {
@@ -82,10 +106,17 @@ int main() {
                  "%.0f},\n"
                  "  \"telemetry_on\": {\"wall_ms\": %.1f, \"msgs_per_sec\": "
                  "%.0f},\n"
-                 "  \"overhead_pct\": %.1f\n"
+                 "  \"recorder_only\": {\"wall_ms\": %.1f, \"msgs_per_sec\": "
+                 "%.0f},\n"
+                 "  \"monitor_only\": {\"wall_ms\": %.1f, \"msgs_per_sec\": "
+                 "%.0f},\n"
+                 "  \"overhead_pct\": %.1f,\n"
+                 "  \"recorder_overhead_pct\": %.1f,\n"
+                 "  \"monitor_overhead_pct\": %.1f\n"
                  "}\n",
                  off.wall_ms, off.msgs_per_sec, on.wall_ms, on.msgs_per_sec,
-                 overhead_pct);
+                 rec.wall_ms, rec.msgs_per_sec, mon.wall_ms, mon.msgs_per_sec,
+                 pct_over(off, on), pct_over(off, rec), pct_over(off, mon));
     std::fclose(f);
     std::printf("written to %s\n", out.c_str());
   }

@@ -233,8 +233,16 @@ void run_scaleout_kpi() {
 
   double w4_speedup = 0;
   for (unsigned workers : {1u, 2u, 4u}) {
-    const bench::SimSpeedPoint mlp =
-        bench::sim_speed_multi_lp(kNodes, workers, kIters);
+    // The 4-worker point doubles as the scale-out observability export:
+    // per-LP scheduler counters land in the same metrics JSON and the
+    // window log becomes a per-LP Perfetto timeline next to it.
+    const bool instrument = workers == 4;
+    const std::string lp_trace =
+        instrument ? bench::out_path("BENCH_sim_speed_lp_trace.json") : "";
+    const bench::SimSpeedPoint mlp = bench::sim_speed_multi_lp(
+        kNodes, workers, kIters, instrument ? &reg : nullptr, lp_trace);
+    if (instrument)
+      std::printf("per-LP scheduler timeline: %s\n", lp_trace.c_str());
     const double speedup =
         seq.wall_s > 0 && mlp.wall_s > 0 ? seq.wall_s / mlp.wall_s : 0;
     std::printf("%-14s %14.0f %12llu %12.1f   speedup %.2fx\n",

@@ -15,6 +15,7 @@
 #include "core/endpoint.hpp"
 #include "mem/aligned_buffer.hpp"
 #include "obs/attrib.hpp"
+#include "obs/monitor.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -90,7 +91,11 @@ inline void collect_cluster_metrics(Cluster& cluster, obs::Registry& out) {
 /// committed reference data lives in bench/baselines/ only.
 inline std::string out_path(const std::string& filename) {
   const char* dir = std::getenv("OMX_BENCH_OUT_DIR");
-  if (!dir || !*dir) return filename;
+  // Absolute paths pass through untouched, so CLIs (trace_viewer,
+  // omx_blame, omx_postmortem) can route user-supplied output names here
+  // without breaking explicit destinations.
+  if (!dir || !*dir || (!filename.empty() && filename.front() == '/'))
+    return filename;
   std::string p(dir);
   if (p.back() != '/') p += '/';
   return p + filename;
@@ -113,9 +118,10 @@ inline void emit_metrics_json(const std::string& bench_name,
 }
 
 /// The ping-pong loop itself, on a caller-prepared cluster (so callers can
-/// enable telemetry on the engine first).  Returns one-way time.
+/// enable telemetry on the engine first).  Returns one-way time.  An
+/// optional live monitor is polled from the event loop.
 inline Time run_pingpong(Cluster& cluster, std::size_t len, int iters,
-                         int warmup) {
+                         int warmup, obs::Monitor* monitor = nullptr) {
   mem::Buffer buf0(len ? len : 1, 1), buf1(len ? len : 1, 2);
   Time t0 = 0, t1 = 0;
 
@@ -135,7 +141,7 @@ inline Time run_pingpong(Cluster& cluster, std::size_t len, int iters,
       ep.wait(ep.isend(buf1.data(), len, Addr{0, 0}, 7));
     }
   });
-  cluster.run();
+  cluster.run(monitor);
   return (t1 - t0) / (2 * iters);
 }
 

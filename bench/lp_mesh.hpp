@@ -91,14 +91,24 @@ inline SimSpeedPoint sim_speed_sequential(int nnodes, int iters) {
 }
 
 /// Multi-LP run: one LP per node, executed on `workers` OS threads.
+/// When `sched_metrics` is given the per-LP scheduler counters
+/// (lp.<id>.windows/events/barrier_stall_ns, lp.critical.*) are folded
+/// into it after the run; when `lp_trace_path` is set the window log is
+/// enabled and rendered as one Perfetto track per LP.
 inline SimSpeedPoint sim_speed_multi_lp(int nnodes, unsigned workers,
-                                        int iters) {
+                                        int iters,
+                                        obs::Registry* sched_metrics = nullptr,
+                                        const std::string& lp_trace_path = {}) {
   core::ParallelCluster cluster(nnodes);
   cluster.add_nodes(nnodes, cfg_omx());
+  if (!lp_trace_path.empty()) cluster.scheduler().enable_window_log();
   auto hold = spawn_ring_mesh(cluster, nnodes, iters);
   const auto t0 = std::chrono::steady_clock::now();
   cluster.run(workers);
   const auto t1 = std::chrono::steady_clock::now();
+  if (sched_metrics) cluster.collect_scheduler_metrics(*sched_metrics);
+  if (!lp_trace_path.empty())
+    obs::write_lp_trace_file(lp_trace_path, cluster.scheduler().window_log());
   SimSpeedPoint p;
   p.events = cluster.events_scheduled();
   p.wall_s = std::chrono::duration<double>(t1 - t0).count();

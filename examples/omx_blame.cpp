@@ -45,7 +45,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--iters") {
       iters = std::atoi(next());
     } else if (arg == "--json") {
-      json_path = next();
+      // Relative names land in $OMX_BENCH_OUT_DIR like every bench
+      // artifact; absolute paths are used verbatim.
+      json_path = bench::out_path(next());
     } else {
       std::fprintf(stderr,
                    "usage: omx_blame [--config mx|omx|ioat|nocopy] "

@@ -6,10 +6,13 @@
 // ioat-submit, dma-complete, copy-out, notify) and the Fig. 8 overlap.
 //
 // Build & run:   ./build/examples/trace_viewer [output.json]
-// The output path defaults to trace.json in the current directory.
+// The output name defaults to trace.json; relative names land in
+// $OMX_BENCH_OUT_DIR when set (absolute paths are used verbatim), so a
+// smoke run never litters the working tree.
 #include <cstdio>
 #include <string>
 
+#include "bench/common.hpp"
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
 #include "mem/aligned_buffer.hpp"
@@ -19,7 +22,8 @@
 using namespace openmx;
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "trace.json";
+  const std::string out_path =
+      bench::out_path(argc > 1 ? argv[1] : "trace.json");
   core::OmxConfig config;
   config.ioat_large = true;  // so the waterfall shows real DMA overlap
 

@@ -11,6 +11,7 @@
 #include "core/params.hpp"
 #include "core/process.hpp"
 #include "net/network.hpp"
+#include "obs/monitor.hpp"
 #include "sim/engine.hpp"
 
 namespace openmx::core {
@@ -57,9 +58,17 @@ class Cluster {
 
   /// Starts every process and runs the simulation to quiescence.  Throws
   /// if any process failed or is still blocked (deadlock) at the end.
-  void run() {
+  /// With a monitor attached the run loop polls it after every event —
+  /// one comparison per step when no sample is due — so the monitor sees
+  /// live counters without scheduling any engine event of its own.
+  void run(obs::Monitor* monitor = nullptr) {
     for (auto& p : procs_) p->start();
-    engine_.run();
+    if (monitor) {
+      while (engine_.step()) monitor->poll(engine_.now());
+      monitor->poll(engine_.now());
+    } else {
+      engine_.run();
+    }
     for (auto& p : procs_) {
       p->thread().rethrow_if_failed();
       if (!p->thread().finished())

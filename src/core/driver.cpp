@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 namespace openmx::core {
@@ -225,7 +226,16 @@ void Driver::arm_eager_timer(std::uint32_t seq) {
         if (e == eager_tx_.end()) return;
         if (++e->second.retries > config_.max_retries) {
           // Peer unreachable: report a failed completion (as the real
-          // stack's timeout handler eventually must).
+          // stack's timeout handler eventually must).  This is a fatal
+          // path for the message, so fire the postmortem hook — the
+          // reason names the message so omx_postmortem can match it to
+          // the flight-recorder tail.
+          char why[96];
+          std::snprintf(why, sizeof why,
+                        "eager send retries exhausted seq=%u len=%u node=%d",
+                        seq, static_cast<unsigned>(e->second.len),
+                        node_.id());
+          node_.engine().panic(why);
           counters_.add("driver.aborted_sends");
           Event ev;
           ev.type = EvType::SendDone;
@@ -548,6 +558,14 @@ void Driver::arm_block_timer(PullHandle& h) {
           return;
         }
         if (++p.retries > config_.max_retries) {
+          // Fatal for the message: dump the flight recorder before the
+          // abort bookkeeping so the postmortem tail still shows the
+          // stalled pull's last activity.
+          char why[96];
+          std::snprintf(why, sizeof why,
+                        "pull retries exhausted handle=%u len=%zu node=%d",
+                        p.handle, p.len, node_.id());
+          node_.engine().panic(why);
           counters_.add("driver.aborted_pulls");
           Event ev;
           ev.type = EvType::LargeRecvDone;

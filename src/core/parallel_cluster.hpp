@@ -12,6 +12,7 @@
 #include "core/params.hpp"
 #include "core/process.hpp"
 #include "net/network.hpp"
+#include "obs/flight.hpp"
 #include "obs/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/lp.hpp"
@@ -137,6 +138,24 @@ class ParallelCluster {
       out.merge(n->ioat().counters());
     }
     for (auto& s : shards_) out.merge(s->counters());
+  }
+
+  /// Scheduler-level telemetry (lp.<id>.*, lp.critical.*) exported in
+  /// LP-id order.  Kept separate from collect_metrics so the component
+  /// registry merge stays byte-identical to the sequential Cluster's —
+  /// the scheduler metrics have no sequential counterpart, but they are
+  /// themselves worker-count invariant (asserted by test_determinism).
+  void collect_scheduler_metrics(obs::Registry& out) const {
+    scheduler_.export_metrics(out);
+  }
+
+  /// Binds one flight-recorder shard per LP (fr must have num_lps()
+  /// shards): every LP's trace feeds its own lock-free ring, so a
+  /// postmortem dump holds each partition's event tail.
+  void attach_flight(obs::FlightRecorder& fr) {
+    for (std::size_t i = 0; i < lps_.size(); ++i)
+      lps_[i]->engine().trace().attach_flight(&fr,
+                                              static_cast<std::uint32_t>(i));
   }
 
  private:

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/monitor.hpp"
 #include "sim/engine.hpp"
 #include "sim/lp.hpp"
 #include "sim/stats.hpp"
@@ -119,6 +120,12 @@ class FlowNetwork {
   [[nodiscard]] std::size_t active_flows() const { return active_; }
   [[nodiscard]] const sim::Counters& counters() const { return counters_; }
   [[nodiscard]] sim::Counters& counters() { return counters_; }
+
+  /// Attaches a live monitor, polled at every flow completion (a
+  /// deterministic point where the flow counters have just advanced).
+  /// Typical SLO: flow.solver_visits / flow.completed staying near 1 —
+  /// a super-linear re-solve is the fluid model's pathological mode.
+  void set_monitor(obs::Monitor* m) { monitor_ = m; }
 
   /// Grows the port tables to cover endpoints [0, n).  Implicit on
   /// transfer(), explicit for benchmarks that want allocation up front.
@@ -531,6 +538,7 @@ class FlowNetwork {
     --active_;
     c_completed_->add();
     g_active_->set(static_cast<std::int64_t>(active_));
+    if (monitor_) monitor_->poll(now);
 
     const sim::Time deliver_at = now + params_.latency_ns;
     if (lp_ && lp_of_ep_.at(static_cast<std::size_t>(info.dst)) != lp_->id()) {
@@ -580,6 +588,7 @@ class FlowNetwork {
   obs::Gauge* g_active_ = nullptr;
   obs::Histogram* h_comp_flows_ = nullptr;
   obs::Histogram* h_rate_mibs_ = nullptr;
+  obs::Monitor* monitor_ = nullptr;
 };
 
 }  // namespace openmx::net

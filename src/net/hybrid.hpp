@@ -103,6 +103,14 @@ class HybridNetwork final : public LinkThrottle {
 
   [[nodiscard]] const sim::Counters& counters() const { return counters_; }
 
+  /// Attaches a live monitor to the fluid side (polled per flow
+  /// completion) and to the packet side's foreground frames, so a hybrid
+  /// run samples whichever model is moving traffic.
+  void set_monitor(obs::Monitor* m) {
+    monitor_ = m;
+    flow_.set_monitor(m);
+  }
+
   // ---- LinkThrottle (called by the packet network per frame) -------------
 
   double tx_share(int node) override { return flow_.tx_share(node); }
@@ -111,6 +119,7 @@ class HybridNetwork final : public LinkThrottle {
     c_fg_frames_->add();
     c_fg_bytes_->add(wire_bytes);
     flow_.note_foreground(src, dst, wire_bytes);
+    if (monitor_) monitor_->poll(packet_.engine().now());
   }
 
  private:
@@ -121,6 +130,7 @@ class HybridNetwork final : public LinkThrottle {
   obs::Counter* c_fg_frames_ = nullptr;
   obs::Counter* c_fg_bytes_ = nullptr;
   obs::Counter* c_bg_flows_ = nullptr;
+  obs::Monitor* monitor_ = nullptr;
 };
 
 }  // namespace openmx::net

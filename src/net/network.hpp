@@ -278,6 +278,7 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] const NetParams& params() const { return params_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
   void set_loss_prob(double p) { params_.loss_prob = p; }
 
   /// Installs (or clears, with nullptr) the scripted fault injector.  No

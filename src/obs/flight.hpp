@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::obs {
+
+/// Always-on postmortem ring of trace events, one ring per LP shard.
+///
+/// The full sim::Trace is opt-in because an unbounded-rate record stream
+/// is not free; the flight recorder is the complement: a fixed-size ring
+/// of the same 32-byte POD TraceEvents that is cheap enough to leave on
+/// in production runs (one masked store per event, no strings, no
+/// allocation after construction) and whose only job is to still hold
+/// the *tail* of the event stream when something goes wrong.  Each shard
+/// ring is written exclusively by the thread executing that LP's window
+/// — the LP scheduler's barrier protocol provides the happens-before
+/// edges — so recording needs no atomics and no locks.
+///
+/// dump_json() writes a Chrome-trace/Perfetto file (one process per
+/// shard) with a "postmortem" header carrying the failure reason and
+/// seed; it is wired into soak invariant failures, the driver's
+/// retries-exhausted fatal paths and Engine::on_panic.  Events are
+/// emitted one per line in a fixed field order so `omx_postmortem` can
+/// parse the dump with sscanf — no JSON library needed on either side.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t num_shards = 1,
+                          std::size_t per_shard = 256) {
+    per_shard_ = 1;
+    while (per_shard_ < per_shard) per_shard_ <<= 1;  // power of two: mask,
+    mask_ = per_shard_ - 1;                           // not modulo, per event
+    shards_.resize(num_shards);
+    for (Shard& s : shards_) s.ring.resize(per_shard_);
+  }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t per_shard_capacity() const { return per_shard_; }
+
+  /// Hot path: overwrite-oldest store into the shard's ring.  Only the
+  /// thread currently executing shard `shard` may call this.
+  void record(std::uint32_t shard, const TraceEvent& e) {
+    Shard& s = shards_[shard];
+    s.ring[s.total & mask_] = e;
+    ++s.total;
+  }
+
+  /// Binds the name tables used to render shard `shard`'s interned event
+  /// ids at dump time (called by sim::Trace::attach_flight).  The
+  /// recorder stores the pointers, not a copy: dump while the owning
+  /// Trace is still alive (every built-in hook — on_panic, the soak's
+  /// invariant dump — runs inside the cluster's lifetime).
+  void bind_names(std::uint32_t shard, const Interner* events,
+                  const Interner* msgs) {
+    shards_[shard].events = events;
+    shards_[shard].msgs = msgs;
+  }
+
+  /// Events ever recorded on a shard (≥ retained count once wrapped).
+  [[nodiscard]] std::uint64_t recorded(std::uint32_t shard) const {
+    return shards_[shard].total;
+  }
+
+  /// Retained tail of a shard, in chronological order.
+  [[nodiscard]] std::vector<TraceEvent> tail(std::uint32_t shard) const {
+    const Shard& s = shards_[shard];
+    const std::uint64_t n = s.total < per_shard_ ? s.total : per_shard_;
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = s.total - n; i < s.total; ++i)
+      out.push_back(s.ring[i & mask_]);
+    return out;
+  }
+
+  /// Chrome-trace postmortem dump: "postmortem" header first (reason,
+  /// seed, per-shard recorded/retained counts), then one instant event
+  /// per line, shards in id order, each shard chronological.
+  void dump_json(std::FILE* out, const char* reason,
+                 std::uint64_t seed) const {
+    std::fprintf(out,
+                 "{\"postmortem\":{\"reason\":\"%s\",\"seed\":%llu,"
+                 "\"shards\":%zu,\"capacity\":%zu",
+                 escape(reason).c_str(), static_cast<unsigned long long>(seed),
+                 shards_.size(), per_shard_);
+    std::fputs(",\"recorded\":[", out);
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+      std::fprintf(out, "%s%llu", i ? "," : "",
+                   static_cast<unsigned long long>(shards_[i].total));
+    std::fputs("]},\n\"traceEvents\":[", out);
+    bool first = true;
+    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+      std::fprintf(out,
+                   "%s\n{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+                   "\"args\":{\"name\":\"shard%zu\"}}",
+                   first ? "" : ",", sh, sh);
+      first = false;
+      const Shard& s = shards_[sh];
+      const std::uint64_t n = s.total < per_shard_ ? s.total : per_shard_;
+      for (std::uint64_t i = s.total - n; i < s.total; ++i) {
+        const TraceEvent& e = s.ring[i & mask_];
+        const bool interned_msg =
+            (e.flags & kMsgInterned) && s.msgs != nullptr;
+        std::fprintf(
+            out,
+            ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+            "\"pid\":%zu,\"tid\":%d,\"ts\":%.3f,"
+            "\"args\":{\"node\":%d,\"a0\":%llu,\"a1\":%llu",
+            s.events ? escape(s.events->name(e.id).c_str()).c_str() : "ev",
+            cat_name(e.cat), sh, e.node >= 0 ? e.node : 0,
+            sim::to_micros(e.when), e.node,
+            static_cast<unsigned long long>(e.a0),
+            static_cast<unsigned long long>(e.a1));
+        if (interned_msg)
+          std::fprintf(
+              out, ",\"msg\":\"%s\"",
+              escape(s.msgs->name(static_cast<std::uint32_t>(e.a0)).c_str())
+                  .c_str());
+        std::fputs("}}", out);
+      }
+    }
+    std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", out);
+  }
+
+  /// Writes the dump to `path`; returns false if the file cannot be
+  /// opened (the caller is already on a failure path — never throw).
+  bool dump_json_file(const std::string& path, const char* reason,
+                      std::uint64_t seed) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    dump_json(f, reason, seed);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Shard {
+    std::vector<TraceEvent> ring;
+    std::uint64_t total = 0;
+    const Interner* events = nullptr;
+    const Interner* msgs = nullptr;
+  };
+
+  /// Minimal JSON string sanitizer for reasons and interned names (both
+  /// come from our own code, so mapping the rare quote/backslash/control
+  /// byte to a safe character beats dragging in real escaping).
+  [[nodiscard]] static std::string escape(const char* s) {
+    std::string out(s ? s : "");
+    for (char& c : out)
+      if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+        c = '\'';
+    return out;
+  }
+
+  std::size_t per_shard_ = 0;
+  std::uint64_t mask_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace openmx::obs

@@ -1,0 +1,216 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "sim/time.hpp"
+
+namespace openmx::obs {
+
+/// Live run monitor: periodic Registry snapshots plus SLO watchdogs.
+///
+/// The monitor is a pure observer.  It never schedules engine events —
+/// harness code calls poll(now) from points it already passes through
+/// (the LP scheduler's coordinator at each window plan, Cluster's step
+/// loop, a bench's restart callback), and the monitor decides internally
+/// whether a sample is due.  Because the poll sites and the sampled
+/// counters are both deterministic functions of the simulation, the
+/// snapshot stream is bit-identical across runs and worker counts;
+/// enabling a monitor changes neither Engine::events_scheduled() nor any
+/// simulated timestamp.
+///
+/// Sampling is keyed to *simulated* time (every `sim_period_ns`, aligned
+/// to period multiples).  An optional wall-clock period can be layered
+/// on for long-running jobs whose simulated clock crawls; wall samples
+/// are flagged and checked only every 1024 polls so the fast path stays
+/// one comparison.
+///
+/// SLO watchdogs are named probes over the watched registry with a bound
+/// (breach when value > bound).  Each is evaluated at every sample and
+/// logs exactly once, on its first breach, so a sick run announces
+/// itself without flooding the log.
+class Monitor {
+ public:
+  explicit Monitor(const Registry& reg, sim::Time sim_period_ns,
+                   std::size_t max_snapshots = 4096)
+      : reg_(reg),
+        period_(sim_period_ns > 0 ? sim_period_ns : 1),
+        max_snapshots_(max_snapshots ? max_snapshots : 1) {}
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  using Probe = std::function<double(const Registry&)>;
+
+  struct Slo {
+    std::string name;
+    double bound = 0.0;
+    Probe probe;
+    bool breached = false;
+    sim::Time breach_when = 0;
+    double breach_value = 0.0;
+  };
+
+  /// One sampled point: watched values in watch() order.
+  struct Snapshot {
+    sim::Time when = 0;
+    bool wall = false;  // true when triggered by the wall-clock period
+    std::vector<double> values;
+  };
+
+  /// Adds a metric to the per-snapshot value vector.  Counters, gauges
+  /// and histograms (sampled as their count) are all addressable.
+  void watch(std::string_view name) { watched_.emplace_back(name); }
+
+  void add_slo(std::string name, double bound, Probe probe) {
+    slos_.push_back(Slo{std::move(name), bound, std::move(probe)});
+  }
+
+  void set_log(std::FILE* f) { log_ = f; }
+
+  /// Enables the optional wall-clock sampling layer (off by default —
+  /// wall samples are inherently nondeterministic).
+  void enable_wall(std::chrono::milliseconds period) {
+    wall_period_ = period;
+    wall_last_ = std::chrono::steady_clock::now();
+  }
+
+  /// Cheap to call from any loop: one comparison when no sample is due.
+  void poll(sim::Time now) {
+    if (now >= next_due_) {
+      sample(now, false);
+      next_due_ = (now / period_ + 1) * period_;
+      return;
+    }
+    if (wall_period_.count() && ++wall_gate_ >= 1024) {
+      wall_gate_ = 0;
+      const auto t = std::chrono::steady_clock::now();
+      if (t - wall_last_ >= wall_period_) {
+        wall_last_ = t;
+        sample(now, true);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& watched() const {
+    return watched_;
+  }
+  [[nodiscard]] const std::vector<Slo>& slos() const { return slos_; }
+
+  [[nodiscard]] std::size_t breaches() const {
+    std::size_t n = 0;
+    for (const Slo& s : slos_)
+      if (s.breached) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+  [[nodiscard]] std::size_t snapshot_count() const { return snaps_.size(); }
+
+  /// i-th retained snapshot in chronological order.
+  [[nodiscard]] const Snapshot& snapshot(std::size_t i) const {
+    return snaps_[(head_ + i) % snaps_.size()];
+  }
+
+  /// Compact machine-readable dump of the snapshot stream + SLO states.
+  void dump_json(std::FILE* out) const {
+    std::fprintf(out, "{\"monitor\":{\"period_ns\":%lld,\"samples\":%llu",
+                 static_cast<long long>(period_),
+                 static_cast<unsigned long long>(samples_));
+    std::fputs(",\"watched\":[", out);
+    for (std::size_t i = 0; i < watched_.size(); ++i)
+      std::fprintf(out, "%s\"%s\"", i ? "," : "", watched_[i].c_str());
+    std::fputs("],\"snapshots\":[", out);
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      const Snapshot& s = snapshot(i);
+      std::fprintf(out, "%s\n{\"t\":%lld,\"wall\":%s,\"v\":[", i ? "," : "",
+                   static_cast<long long>(s.when), s.wall ? "true" : "false");
+      for (std::size_t v = 0; v < s.values.size(); ++v)
+        std::fprintf(out, "%s%.3f", v ? "," : "", s.values[v]);
+      std::fputs("]}", out);
+    }
+    std::fputs("\n],\"slos\":[", out);
+    for (std::size_t i = 0; i < slos_.size(); ++i) {
+      const Slo& s = slos_[i];
+      std::fprintf(out,
+                   "%s\n{\"name\":\"%s\",\"bound\":%.3f,\"breached\":%s,"
+                   "\"t\":%lld,\"value\":%.3f}",
+                   i ? "," : "", s.name.c_str(), s.bound,
+                   s.breached ? "true" : "false",
+                   static_cast<long long>(s.breach_when), s.breach_value);
+    }
+    std::fputs("\n]}}\n", out);
+  }
+
+ private:
+  [[nodiscard]] double lookup(const std::string& name) const {
+    {
+      const auto& m = reg_.all_counters();
+      auto it = m.find(name);
+      if (it != m.end()) return static_cast<double>(it->second.value);
+    }
+    {
+      const auto& m = reg_.all_gauges();
+      auto it = m.find(name);
+      if (it != m.end()) return static_cast<double>(it->second.value);
+    }
+    {
+      const auto& m = reg_.all_histograms();
+      auto it = m.find(name);
+      if (it != m.end()) return static_cast<double>(it->second.count());
+    }
+    return 0.0;
+  }
+
+  void sample(sim::Time now, bool wall) {
+    ++samples_;
+    Snapshot s;
+    s.when = now;
+    s.wall = wall;
+    s.values.reserve(watched_.size());
+    for (const std::string& name : watched_) s.values.push_back(lookup(name));
+    if (snaps_.size() == max_snapshots_) {
+      snaps_[head_] = std::move(s);
+      head_ = (head_ + 1) % max_snapshots_;
+    } else {
+      snaps_.push_back(std::move(s));
+    }
+    for (Slo& slo : slos_) {
+      if (slo.breached) continue;
+      const double v = slo.probe ? slo.probe(reg_) : 0.0;
+      if (v > slo.bound) {
+        slo.breached = true;
+        slo.breach_when = now;
+        slo.breach_value = v;
+        if (log_)
+          std::fprintf(log_,
+                       "[monitor] SLO '%s' breached at t=%.3f us: "
+                       "%.3f > bound %.3f\n",
+                       slo.name.c_str(), sim::to_micros(now), v, slo.bound);
+      }
+    }
+  }
+
+  const Registry& reg_;
+  sim::Time period_;
+  std::size_t max_snapshots_;
+  sim::Time next_due_ = 0;
+  std::uint64_t samples_ = 0;
+  std::vector<std::string> watched_;
+  std::vector<Slo> slos_;
+  std::vector<Snapshot> snaps_;
+  std::size_t head_ = 0;
+  std::FILE* log_ = stderr;
+  std::chrono::milliseconds wall_period_{0};
+  std::chrono::steady_clock::time_point wall_last_{};
+  std::uint32_t wall_gate_ = 0;
+};
+
+}  // namespace openmx::obs

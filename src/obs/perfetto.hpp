@@ -1,10 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "obs/attrib.hpp"
 #include "obs/span.hpp"
@@ -152,6 +154,153 @@ inline bool write_chrome_trace_file(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   write_chrome_trace(f, tl, spans, num_nodes, attrib);
+  std::fclose(f);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-LP scheduler tracks
+// ---------------------------------------------------------------------------
+
+/// One LP's share of a synchronization window (filled by the worker that
+/// executed the LP; the scheduler barrier orders the writes).
+struct LpWindowStat {
+  std::uint32_t events = 0;      // events dispatched this window
+  std::uint32_t inbox = 0;       // cross-LP messages delivered at start
+  sim::Time busy_until = 0;      // last dispatch time (start if idle)
+};
+
+/// One conservative synchronization window across all LPs.
+struct LpWindow {
+  sim::Time start = 0;
+  sim::Time end = 0;             // exclusive: events ran in [start, end)
+  std::int32_t critical_lp = -1; // the LP whose next action set `start`
+  sim::Time slack_ns = 0;        // margin to the runner-up LP's next action
+  std::vector<LpWindowStat> per_lp;
+};
+
+/// Bounded chronological ring of LpWindows — the raw material for the
+/// per-LP Perfetto tracks and the critical-LP attribution.  Opt-in (the
+/// scheduler only appends when a capacity was configured); when full the
+/// oldest windows are overwritten so long runs keep their tail.
+class LpWindowLog {
+ public:
+  void reset(std::size_t num_lps, std::size_t capacity) {
+    num_lps_ = num_lps;
+    cap_ = capacity ? capacity : 1;
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+  }
+
+  LpWindow& append(sim::Time start, sim::Time end, int critical_lp,
+                   sim::Time slack_ns) {
+    LpWindow* w;
+    if (ring_.size() == cap_) {
+      w = &ring_[head_];
+      head_ = (head_ + 1) % cap_;
+    } else {
+      ring_.emplace_back();
+      w = &ring_.back();
+    }
+    w->start = start;
+    w->end = end;
+    w->critical_lp = critical_lp;
+    w->slack_ns = slack_ns;
+    w->per_lp.assign(num_lps_, LpWindowStat{});
+    ++total_;
+    return *w;
+  }
+
+  [[nodiscard]] std::size_t num_lps() const { return num_lps_; }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// i-th retained window in chronological order.
+  [[nodiscard]] const LpWindow& window(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+ private:
+  std::size_t num_lps_ = 0;
+  std::size_t cap_ = 1;
+  std::vector<LpWindow> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Perfetto pids for LP tracks sit far above node pids so a scheduler
+/// trace can be concatenated with a node-level trace without collision.
+inline constexpr int kLpTracePidBase = 1000;
+
+/// Renders the window log as one Perfetto timeline per LP: a "busy"
+/// slice over each window's dispatching prefix (args: events delivered /
+/// inbox depth), a "stall" slice over the idle remainder — the
+/// virtual-time barrier wait — and a "critical" instant on the LP that
+/// bounded the window (args: slack to the runner-up).  Deterministic:
+/// windows in chronological order, LPs in id order within each window.
+inline void write_lp_trace(std::FILE* out, const LpWindowLog& log) {
+  bool first = true;
+  auto sep = [&] {
+    std::fputs(first ? "\n" : ",\n", out);
+    first = false;
+  };
+
+  std::fputs("{\"traceEvents\":[", out);
+  for (std::size_t lp = 0; lp < log.num_lps(); ++lp) {
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"lp%zu\"}}",
+                 kLpTracePidBase + static_cast<int>(lp), lp);
+  }
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const LpWindow& w = log.window(i);
+    for (std::size_t lp = 0; lp < w.per_lp.size(); ++lp) {
+      const LpWindowStat& s = w.per_lp[lp];
+      const int pid = kLpTracePidBase + static_cast<int>(lp);
+      if (s.events) {
+        const sim::Time busy =
+            std::max<sim::Time>(s.busy_until - w.start, 1);
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"busy\",\"cat\":\"lp\",\"ph\":\"X\","
+                     "\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,"
+                     "\"args\":{\"events\":%u,\"inbox\":%u}}",
+                     pid, sim::to_micros(w.start), sim::to_micros(busy),
+                     s.events, s.inbox);
+      }
+      const sim::Time busy_end =
+          std::max(w.start, s.busy_until);
+      if (w.end - 1 > busy_end) {
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"stall\",\"cat\":\"lp\",\"ph\":\"X\","
+                     "\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"dur\":%.3f}",
+                     pid, sim::to_micros(busy_end),
+                     sim::to_micros(w.end - 1 - busy_end));
+      }
+      if (w.critical_lp == static_cast<std::int32_t>(lp)) {
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"critical\",\"cat\":\"lp\",\"ph\":\"i\","
+                     "\"s\":\"t\",\"pid\":%d,\"tid\":0,\"ts\":%.3f,"
+                     "\"args\":{\"slack_us\":%.3f}}",
+                     pid, sim::to_micros(w.start),
+                     sim::to_micros(w.slack_ns));
+      }
+    }
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", out);
+}
+
+/// Convenience wrapper writing the per-LP tracks straight to `path`.
+inline bool write_lp_trace_file(const std::string& path,
+                                const LpWindowLog& log) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  write_lp_trace(f, log);
   std::fclose(f);
   return true;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <type_traits>
@@ -186,9 +187,16 @@ class Engine {
       }
       --live_;
       now_ = k.when;
+      ++dispatched_;
+      last_dispatch_when_ = k.when;
       r->cancelled = true;
       const ReleaseGuard guard{&slab_, r};
-      r->fn();
+      try {
+        r->fn();
+      } catch (...) {
+        panic("event callback threw");
+        throw;
+      }
       return true;
     }
     return false;
@@ -211,6 +219,40 @@ class Engine {
   /// summed in LP-id order by ParallelCluster for cross-worker-count
   /// determinism checks.
   [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_; }
+
+  /// Total number of events dispatched (cancelled events never count).
+  /// Deterministic; the LP scheduler differences it across windows for
+  /// per-LP events-per-window telemetry.
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Timestamp of the most recently dispatched event (0 before the
+  /// first).  With events_dispatched() this lets the LP scheduler locate
+  /// the busy prefix of a window — the basis of the *virtual-time*
+  /// barrier-stall metric, which unlike a wall-clock wait is
+  /// bit-identical across runs and worker counts.
+  [[nodiscard]] Time last_dispatch_when() const { return last_dispatch_when_; }
+
+  /// Installs the postmortem hook: panic(why) invokes it at most once
+  /// (re-armed by installing a new hook).  Harnesses point it at
+  /// obs::FlightRecorder::dump_json_file so the event tail survives any
+  /// fatal path — a throwing event callback triggers it automatically,
+  /// and components call panic() at their own unrecoverable sites (e.g.
+  /// the driver when a fault plan exhausts a message's retry budget).
+  void set_on_panic(std::function<void(const char*)> fn) {
+    on_panic_ = std::move(fn);
+    panicked_ = false;
+  }
+
+  /// Fires the on_panic hook (if installed and not already fired).
+  /// Never throws: every caller is already on a failure path.
+  void panic(const char* why) noexcept {
+    if (panicked_ || !on_panic_) return;
+    panicked_ = true;
+    try {
+      on_panic_(why);
+    } catch (...) {
+    }
+  }
 
   /// Timestamp of the next live event, or false when the queue is
   /// drained.  Used by the LP scheduler to pick the next conservative
@@ -323,6 +365,10 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t dispatched_ = 0;
+  Time last_dispatch_when_ = 0;
+  std::function<void(const char*)> on_panic_;
+  bool panicked_ = false;
 };
 
 inline void EventHandle::cancel() {

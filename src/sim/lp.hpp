@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -12,6 +14,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/monitor.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/thread_pool.hpp"
 #include "sim/time.hpp"
@@ -77,6 +82,24 @@ class Lp {
   std::vector<std::vector<LpMessage>> outbox_;  // indexed by destination LP
   std::vector<LpMessage> inbox_;
   Time min_safe_when_ = 0;  // current window end; set by the scheduler
+
+  // Per-LP scheduler telemetry, accumulated across windows.  Everything
+  // here lives in the *virtual-time* domain — window boundaries, event
+  // counts, message counts, last-dispatch times — so the numbers are
+  // bit-identical across runs and worker counts; the counter fields are
+  // written either by the worker owning this LP's window or by the
+  // coordinator between windows (never both in the same phase), so the
+  // barrier protocol makes them race-free without atomics.  Exported in
+  // LP-id order by LpScheduler::export_metrics as lp.<id>.*.
+  std::uint64_t tl_windows_active_ = 0;  // windows with any event or inbox
+  std::uint64_t tl_events_ = 0;          // events dispatched inside windows
+  std::uint64_t tl_msgs_in_ = 0;         // cross-LP messages received
+  std::uint64_t tl_msgs_out_ = 0;        // cross-LP messages sent
+  std::uint64_t tl_critical_ = 0;        // windows this LP bounded
+  Time tl_stall_ns_ = 0;                 // summed virtual barrier stall
+  obs::Histogram tl_events_per_window_;
+  obs::Histogram tl_inbox_depth_;
+  obs::Histogram tl_stall_hist_;
 };
 
 /// Pause hint for spin loops: tells the core (and on SMT, the sibling
@@ -185,6 +208,64 @@ class LpScheduler {
   /// Cross-LP messages routed so far.
   [[nodiscard]] std::uint64_t messages_routed() const { return messages_; }
 
+  // ----- scale-out telemetry ---------------------------------------------
+
+  /// Keeps the last `capacity` windows in a chronological log from which
+  /// write_lp_trace renders one Perfetto timeline per LP (busy / stall /
+  /// critical slices).  Call before run(); off by default.
+  void enable_window_log(std::size_t capacity = 4096) {
+    log_cap_ = capacity;
+  }
+  [[nodiscard]] const obs::LpWindowLog& window_log() const {
+    return window_log_;
+  }
+
+  /// Attaches a live monitor, polled by the coordinator at every window
+  /// plan with the window's start time — deterministic poll points, so
+  /// the sampled stream is worker-count invariant.
+  void set_monitor(obs::Monitor* m) { monitor_ = m; }
+
+  /// Opt-in wall-clock barrier-wait accounting (two steady_clock reads
+  /// per window per worker).  Inherently nondeterministic, so it lives
+  /// in the separate wall_metrics() registry and never contaminates the
+  /// deterministic export_metrics() stream.
+  void enable_wall_stats(bool on = true) { wall_stats_ = on; }
+  [[nodiscard]] obs::Registry& wall_metrics() { return wall_metrics_; }
+
+  /// Folds the per-LP telemetry into `out` in LP-id order (deterministic
+  /// for any worker count): per-LP counters/histograms under lp.<id>.*,
+  /// the critical-LP summary under lp.critical.*, and scheduler-wide
+  /// totals (lp.windows, lp.messages_routed, lp.window_advance_ns,
+  /// lp.max_inbox_depth).
+  void export_metrics(obs::Registry& out) const {
+    char name[64];
+    for (const Lp* lp : lps_) {
+      const int id = lp->id_;
+      const auto put = [&](const char* suffix, std::uint64_t v) {
+        std::snprintf(name, sizeof name, "lp.%d.%s", id, suffix);
+        if (v) out.counter(name).add(v);
+      };
+      put("windows_active", lp->tl_windows_active_);
+      put("events", lp->tl_events_);
+      put("msgs_in", lp->tl_msgs_in_);
+      put("msgs_out", lp->tl_msgs_out_);
+      put("critical_windows", lp->tl_critical_);
+      put("stall_ns", static_cast<std::uint64_t>(lp->tl_stall_ns_));
+      std::snprintf(name, sizeof name, "lp.%d.events_per_window", id);
+      out.histogram(name).merge(lp->tl_events_per_window_);
+      std::snprintf(name, sizeof name, "lp.%d.inbox_depth", id);
+      out.histogram(name).merge(lp->tl_inbox_depth_);
+      std::snprintf(name, sizeof name, "lp.%d.barrier_stall_ns", id);
+      out.histogram(name).merge(lp->tl_stall_hist_);
+      out.gauge("lp.max_inbox_depth")
+          .set(static_cast<std::int64_t>(lp->tl_inbox_depth_.max()));
+    }
+    if (windows_) out.counter("lp.windows").add(windows_);
+    if (messages_) out.counter("lp.messages_routed").add(messages_);
+    out.histogram("lp.critical.slack_ns").merge(crit_slack_);
+    out.histogram("lp.window_advance_ns").merge(advance_hist_);
+  }
+
   /// Runs every LP to global quiescence.  `workers` = 0 sizes the team
   /// automatically (shared pool soft capacity); an explicit count is
   /// honoured exactly, as SweepRunner does.  Helpers come from
@@ -194,6 +275,8 @@ class LpScheduler {
     if (lps_.empty()) return;
     for (Lp* lp : lps_)
       lp->outbox_.resize(lps_.size());
+    if (log_cap_ && window_log_.num_lps() != lps_.size())
+      window_log_.reset(lps_.size(), log_cap_);
 
     unsigned want =
         workers ? workers : ThreadPool::shared().soft_cap();
@@ -229,10 +312,21 @@ class LpScheduler {
 
  private:
   void worker_loop(unsigned w) {
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t wait_ns = 0;
     for (;;) {
       if (w == 0) plan_window();
-      barrier_.arrive_and_wait();
-      if (done_) return;
+      if (wall_stats_) {
+        const auto t0 = Clock::now();
+        barrier_.arrive_and_wait();
+        wait_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+      } else {
+        barrier_.arrive_and_wait();
+      }
+      if (done_) break;
       try {
         for (std::size_t i = w; i < lps_.size(); i += nworkers_)
           run_window(*lps_[i]);
@@ -240,7 +334,22 @@ class LpScheduler {
         const std::lock_guard<std::mutex> lock(error_mu_);
         if (!error_) error_ = std::current_exception();
       }
-      barrier_.arrive_and_wait();
+      if (wall_stats_) {
+        const auto t0 = Clock::now();
+        barrier_.arrive_and_wait();
+        wait_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+      } else {
+        barrier_.arrive_and_wait();
+      }
+    }
+    if (wall_stats_ && wait_ns) {
+      char name[48];
+      std::snprintf(name, sizeof name, "lp.wall.worker%u.barrier_ns", w);
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      wall_metrics_.counter(name).add(wait_ns);
     }
   }
 
@@ -259,6 +368,8 @@ class LpScheduler {
         auto& out = src->outbox_[d];
         if (out.empty()) continue;
         messages_ += out.size();
+        src->tl_msgs_out_ += out.size();
+        lps_[d]->tl_msgs_in_ += out.size();
         auto& in = lps_[d]->inbox_;
         in.insert(in.end(), std::make_move_iterator(out.begin()),
                   std::make_move_iterator(out.end()));
@@ -266,25 +377,58 @@ class LpScheduler {
       }
     }
 
-    Time start = std::numeric_limits<Time>::max();
+    // The window start is the global minimum next action; the LP holding
+    // that minimum is the window's *critical* LP — it alone determined
+    // how far everyone may advance — and the runner-up's distance is the
+    // slack: how much further the window could have reached without it.
+    constexpr Time kInf = std::numeric_limits<Time>::max();
+    Time start = kInf;
+    Time second = kInf;
+    Lp* critical = nullptr;
     for (Lp* lp : lps_) {
+      Time t = kInf;
       Time next;
-      if (lp->engine_.next_event_time(next)) start = std::min(start, next);
-      for (const LpMessage& m : lp->inbox_)
-        start = std::min(start, m.when);
+      if (lp->engine_.next_event_time(next)) t = next;
+      for (const LpMessage& m : lp->inbox_) t = std::min(t, m.when);
+      if (t < start) {
+        second = start;
+        start = t;
+        critical = lp;
+      } else if (t < second) {
+        second = t;
+      }
     }
-    if (start == std::numeric_limits<Time>::max()) {
+    if (start == kInf) {
       done_ = true;
       return;
     }
+    const Time slack = second == kInf ? 0 : second - start;
+    critical->tl_critical_ += 1;
+    crit_slack_.add(static_cast<std::uint64_t>(slack));
+    if (windows_)
+      advance_hist_.add(static_cast<std::uint64_t>(start - prev_start_));
+    prev_start_ = start;
     window_end_ = start + lookahead_;
     for (Lp* lp : lps_) lp->min_safe_when_ = window_end_;
     ++windows_;
+    cur_win_ = log_cap_ ? &window_log_.append(start, window_end_,
+                                              critical->id_, slack)
+                        : nullptr;
+    if (monitor_) monitor_->poll(start);
   }
 
   /// One LP's slice of the window: deliver the sorted inbound batch,
-  /// then run the engine up to (excluding) the window end.
+  /// then run the engine up to (excluding) the window end.  The trailing
+  /// accounting block is the per-LP telemetry: events and inbox depth
+  /// are exact, and the *virtual* barrier stall is the gap between the
+  /// LP's last dispatch and the window end — the simulated-time span the
+  /// LP spent finished while the window stayed open.  Defining stall in
+  /// virtual time (not wall time) keeps it bit-identical across runs and
+  /// worker counts.
   void run_window(Lp& lp) {
+    const Time wstart = window_end_ - lookahead_;
+    const std::uint64_t ev_before = lp.engine_.events_dispatched();
+    const std::size_t depth = lp.inbox_.size();
     if (!lp.inbox_.empty()) {
       std::sort(lp.inbox_.begin(), lp.inbox_.end(),
                 [](const LpMessage& a, const LpMessage& b) {
@@ -294,6 +438,24 @@ class LpScheduler {
       lp.inbox_.clear();
     }
     lp.engine_.run_until(window_end_ - 1);
+
+    const std::uint64_t ev = lp.engine_.events_dispatched() - ev_before;
+    const Time busy =
+        ev ? std::max(lp.engine_.last_dispatch_when(), wstart) : wstart;
+    const Time stall = (window_end_ - 1) - busy;
+    lp.tl_events_ += ev;
+    lp.tl_stall_ns_ += stall;
+    lp.tl_events_per_window_.add(ev);
+    lp.tl_inbox_depth_.add(depth);
+    lp.tl_stall_hist_.add(static_cast<std::uint64_t>(stall));
+    if (ev || depth) ++lp.tl_windows_active_;
+    if (cur_win_) {
+      obs::LpWindowStat& s =
+          cur_win_->per_lp[static_cast<std::size_t>(lp.id_)];
+      s.events = static_cast<std::uint32_t>(ev);
+      s.inbox = static_cast<std::uint32_t>(depth);
+      s.busy_until = busy;
+    }
   }
 
   Time lookahead_;
@@ -306,6 +468,20 @@ class LpScheduler {
   std::uint64_t messages_ = 0;
   std::mutex error_mu_;
   std::exception_ptr error_;
+
+  // Telemetry state.  crit_slack_/advance_hist_/prev_start_ are written
+  // by the coordinator only; cur_win_ points at the current window's log
+  // record, whose per-LP slots the workers fill (disjoint indices, with
+  // the barrier ordering the coordinator's append against the writes).
+  obs::Histogram crit_slack_;
+  obs::Histogram advance_hist_;
+  Time prev_start_ = 0;
+  std::size_t log_cap_ = 0;
+  obs::LpWindowLog window_log_;
+  obs::LpWindow* cur_win_ = nullptr;
+  obs::Monitor* monitor_ = nullptr;
+  bool wall_stats_ = false;
+  obs::Registry wall_metrics_;
 };
 
 }  // namespace openmx::sim

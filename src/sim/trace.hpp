@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
 
@@ -49,6 +50,19 @@ class Trace {
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Attaches an always-on flight recorder: every typed event() — the
+  /// unconditional hot call sites (wire tx, pull lifecycle) — is mirrored
+  /// into `fr`'s ring for shard `shard` even while the trace itself is
+  /// disabled, at the cost of one POD store.  The string record() paths
+  /// feed it too, but only when their call site runs (OMX_TRACEF checks
+  /// enabled() at the call site).  Passing nullptr detaches.
+  void attach_flight(obs::FlightRecorder* fr, std::uint32_t shard = 0) {
+    flight_ = fr;
+    flight_shard_ = shard;
+    if (fr) fr->bind_names(shard, &events_, &msgs_);
+  }
+  [[nodiscard]] obs::FlightRecorder* flight() const { return flight_; }
+
   /// Restrict recording to one category prefix (empty = everything).
   void set_filter(std::string prefix) { filter_ = std::move(prefix); }
 
@@ -63,7 +77,7 @@ class Trace {
   /// event arguments (byte counts, handles, packed addresses).
   void event(Time when, int node, obs::EventId id, std::uint64_t a0 = 0,
              std::uint64_t a1 = 0) {
-    if (!enabled_ || !pass(events_.name(id.id))) return;
+    if (!flight_ && !enabled_) return;
     obs::TraceEvent e;
     e.when = when;
     e.node = node;
@@ -71,6 +85,8 @@ class Trace {
     e.id = id.id;
     e.a0 = a0;
     e.a1 = a1;
+    if (flight_) flight_->record(flight_shard_, e);
+    if (!enabled_ || !pass(events_.name(id.id))) return;
     buf_.push(e);
   }
 
@@ -78,7 +94,8 @@ class Trace {
   /// strings are stored once).
   void record(Time when, int node, std::string_view category,
               std::string_view message) {
-    if (!enabled_ || !pass(category)) return;
+    const bool store = enabled_ && pass(category);
+    if (!store && !flight_) return;
     obs::TraceEvent e;
     e.when = when;
     e.node = node;
@@ -86,7 +103,8 @@ class Trace {
     e.flags = obs::kMsgInterned;
     e.id = static_cast<std::uint16_t>(events_.intern(category));
     e.a0 = msgs_.intern(message);
-    buf_.push(e);
+    if (flight_) flight_->record(flight_shard_, e);
+    if (store) buf_.push(e);
   }
 
   /// Lazy path: `lazy()` builds the message string and is only invoked
@@ -176,6 +194,8 @@ class Trace {
   obs::TraceBuffer buf_;
   obs::Interner events_;  // event/category names (bounded, u16 ids)
   obs::Interner msgs_;    // compat-path message strings
+  obs::FlightRecorder* flight_ = nullptr;  // always-on postmortem ring
+  std::uint32_t flight_shard_ = 0;
 };
 
 }  // namespace openmx::sim

@@ -24,10 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/cluster.hpp"
 #include "core/endpoint.hpp"
 #include "fault/fault.hpp"
 #include "obs/attrib.hpp"
+#include "obs/flight.hpp"
+#include "obs/monitor.hpp"
 #include "sim/rng.hpp"
 #include "sim/sweep.hpp"
 #include "sim/time.hpp"
@@ -37,6 +40,7 @@ namespace core = openmx::core;
 namespace net = openmx::net;
 namespace obs = openmx::obs;
 namespace fault = openmx::fault;
+namespace bench = openmx::bench;
 
 namespace {
 
@@ -149,6 +153,28 @@ RunResult run_one(std::uint64_t seed) {
   cluster.engine().spans().enable();
   cluster.engine().attrib().enable();
 
+  // Always-on flight recorder: whatever happens, the last ~512 trace
+  // events survive for the postmortem dump below.
+  obs::FlightRecorder recorder(1, 512);
+  cluster.engine().trace().attach_flight(&recorder, 0);
+  const std::string postmortem_path =
+      bench::out_path("postmortem_" + std::to_string(seed) + ".json");
+  cluster.engine().set_on_panic([&](const char* why) {
+    recorder.dump_json_file(postmortem_path, why, seed);
+    fail(std::string("engine panic: ") + why);
+  });
+
+  // Live monitor over the wire counters, polled from the event loop.
+  // The fault-drop-share watchdog logs once if injected loss somehow
+  // dominates the schedule (the plans are bounded, so it should never).
+  obs::Monitor monitor(cluster.network().counters(), 100 * sim::kMicrosecond);
+  monitor.watch("net.tx_frames");
+  monitor.watch("net.fault_drops");
+  monitor.add_slo("net.fault_drop_share", 0.95, [](const obs::Registry& r) {
+    const double tx = static_cast<double>(r.get("net.tx_frames"));
+    return tx > 0 ? static_cast<double>(r.get("net.fault_drops")) / tx : 0.0;
+  });
+
   fault::Plan plan(rng.next_u64());
   build_plan(plan, rng);
   cluster.network().set_fault_injector(&plan);
@@ -213,10 +239,20 @@ RunResult run_one(std::uint64_t seed) {
         });
   }
 
+  // On any failure — thrown, panicked, or caught by the post-run
+  // invariants — leave a postmortem behind for omx_postmortem.
+  auto dump_postmortem = [&]() {
+    if (res.ok) return;
+    if (recorder.dump_json_file(postmortem_path, res.why.c_str(), seed))
+      std::fprintf(stderr, "postmortem: %s (pretty-print with omx_postmortem)\n",
+                   postmortem_path.c_str());
+  };
+
   try {
-    cluster.run();
+    cluster.run(&monitor);
   } catch (const std::exception& e) {
     fail(std::string("run threw: ") + e.what());
+    dump_postmortem();
     return res;
   }
 
@@ -273,6 +309,7 @@ RunResult run_one(std::uint64_t seed) {
   for (const Msg& m : msgs)
     h = fnv1a(h, m.out.data(), m.out.size());
   res.digest = h;
+  dump_postmortem();
   return res;
 }
 

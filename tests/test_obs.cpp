@@ -11,11 +11,14 @@
 
 #include "bench/common.hpp"
 #include "core/parallel_cluster.hpp"
+#include "obs/flight.hpp"
+#include "obs/monitor.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
 #include "sim/sweep.hpp"
+#include "sim/trace.hpp"
 
 using namespace openmx;
 
@@ -587,6 +590,274 @@ TEST(Registry, ParallelClusterMergeIsWorkerCountInvariant) {
   EXPECT_NE(ref.first.find("nic.rx_frames"), std::string::npos);
   EXPECT_EQ(run(4), ref);
   EXPECT_EQ(run(2), ref);
+}
+
+// ---------------------------------------------------------------------
+// Gauge merge semantics across LP shards
+// ---------------------------------------------------------------------
+
+// Gauges are instantaneous (ring occupancy, inbox depth): folding two
+// shards must take the componentwise peak, never the sum — two LPs each
+// holding 5 slots is a peak of 5, not a phantom 10.
+TEST(Registry, GaugeMergeTakesPeakNotSum) {
+  obs::Registry a, b;
+  a.gauge("lp.max_inbox_depth").set(5);
+  b.gauge("lp.max_inbox_depth").set(3);
+  a.counter("lp.windows").add(7);
+  b.counter("lp.windows").add(11);
+
+  obs::Registry merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.gauge("lp.max_inbox_depth").value, 5);
+  EXPECT_EQ(merged.get("lp.windows"), 18u);  // counters still add
+
+  // Peak semantics make the fold order irrelevant for gauges too.
+  obs::Registry flipped;
+  flipped.merge(b);
+  flipped.merge(a);
+  EXPECT_EQ(render([&](std::FILE* f) { merged.dump_json(f); }),
+            render([&](std::FILE* f) { flipped.dump_json(f); }));
+}
+
+// Per-LP shard registries merge deterministically when folded in LP-id
+// order: the merged dump is byte-identical no matter how shard contents
+// were produced, because every lp.<id>.* name is disjoint and gauges
+// take maxima.
+TEST(Registry, LpShardMergeInLpOrderIsByteStable) {
+  auto shard = [](int id, std::uint64_t events, std::int64_t depth) {
+    obs::Registry r;
+    r.counter("lp." + std::to_string(id) + ".events").add(events);
+    r.gauge("lp.max_inbox_depth").set(depth);
+    return r;
+  };
+  auto fold = [&] {
+    obs::Registry out;
+    for (int id = 0; id < 4; ++id) {
+      const obs::Registry s = shard(id, 100u * (id + 1), 2 * id);
+      out.merge(s);
+    }
+    return render([&](std::FILE* f) { out.dump_json(f); });
+  };
+  const std::string once = fold();
+  EXPECT_EQ(fold(), once);
+  EXPECT_NE(once.find("lp.3.events"), std::string::npos);
+  EXPECT_NE(once.find("lp.max_inbox_depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: always-on postmortem ring
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsChronologicalTail) {
+  obs::FlightRecorder fr(1, 256);
+  ASSERT_EQ(fr.per_shard_capacity(), 256u);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    obs::TraceEvent e;
+    e.when = static_cast<sim::Time>(i);
+    e.a0 = i;
+    fr.record(0, e);
+  }
+  EXPECT_EQ(fr.recorded(0), 300u);
+  const auto tail = fr.tail(0);
+  ASSERT_EQ(tail.size(), 256u);  // oldest 44 overwritten
+  EXPECT_EQ(tail.front().a0, 44u);
+  EXPECT_EQ(tail.back().a0, 299u);
+  for (std::size_t i = 1; i < tail.size(); ++i)
+    EXPECT_EQ(tail[i].a0, tail[i - 1].a0 + 1);
+}
+
+// The whole point of the recorder: it captures the typed event stream
+// even while the sim::Trace itself is disabled, and the trace buffer
+// stays empty (recording adds no opt-in telemetry).
+TEST(FlightRecorder, CapturesEventsWhileTraceDisabled) {
+  sim::Trace trace;
+  obs::FlightRecorder fr(1, 64);
+  trace.attach_flight(&fr, 0);
+  ASSERT_FALSE(trace.enabled());
+
+  const obs::EventId id = trace.intern_event("wire.tx");
+  trace.event(1000, 0, id, /*a0=*/7, /*a1=*/4096);
+  trace.record(2000, 1, "pull.start", "handle=7");
+
+  EXPECT_EQ(trace.size(), 0u);  // disabled trace stored nothing
+  EXPECT_EQ(fr.recorded(0), 2u);
+  const auto tail = fr.tail(0);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].when, 1000);
+  EXPECT_EQ(tail[0].a0, 7u);
+  EXPECT_EQ(tail[1].when, 2000);
+
+  trace.attach_flight(nullptr);  // detach: back to one-branch disabled path
+  trace.event(3000, 0, id);
+  EXPECT_EQ(fr.recorded(0), 2u);
+}
+
+// The dump format is a contract with omx_postmortem: header first, then
+// one sscanf-parseable instant event per line.
+TEST(FlightRecorder, DumpFormatRoundTrips) {
+  sim::Trace trace;
+  obs::FlightRecorder fr(1, 64);
+  trace.attach_flight(&fr, 0);
+  const obs::EventId id = trace.intern_event("pull.start");
+  trace.event(1500, 2, id, 9, 65536);
+
+  const std::string dump = render(
+      [&](std::FILE* f) { fr.dump_json(f, "pull retries exhausted handle=9",
+                                       /*seed=*/1234); });
+
+  char reason[128];
+  unsigned long long seed = 0;
+  ASSERT_EQ(std::sscanf(dump.c_str(),
+                        "{\"postmortem\":{\"reason\":\"%127[^\"]\","
+                        "\"seed\":%llu",
+                        reason, &seed),
+            2);
+  EXPECT_STREQ(reason, "pull retries exhausted handle=9");
+  EXPECT_EQ(seed, 1234u);
+
+  const std::size_t pos = dump.find("{\"name\":\"pull.start\"");
+  ASSERT_NE(pos, std::string::npos);
+  char name[64], cat[32];
+  unsigned pid = 0;
+  int tid = 0, node = -1;
+  double ts = 0;
+  unsigned long long a0 = 0, a1 = 0;
+  ASSERT_EQ(std::sscanf(dump.c_str() + pos,
+                        "{\"name\":\"%63[^\"]\",\"cat\":\"%31[^\"]\","
+                        "\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,\"tid\":%d,"
+                        "\"ts\":%lf,\"args\":{\"node\":%d,\"a0\":%llu,"
+                        "\"a1\":%llu",
+                        name, cat, &pid, &tid, &ts, &node, &a0, &a1),
+            8);
+  EXPECT_EQ(node, 2);
+  EXPECT_EQ(a0, 9u);
+  EXPECT_EQ(a1, 65536u);
+  EXPECT_DOUBLE_EQ(ts, 1.5);  // microseconds
+  EXPECT_NE(dump.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Live run monitor
+// ---------------------------------------------------------------------
+
+TEST(Monitor, SamplesAtAlignedSimCadence) {
+  obs::Registry reg;
+  reg.counter("c").add(1);
+  obs::Monitor mon(reg, 100 * sim::kMicrosecond);
+  mon.watch("c");
+  mon.set_log(nullptr);
+
+  // Dense polling: samples land only on period boundaries (aligned to
+  // multiples, not to the first poll time).
+  for (sim::Time t = 0; t <= 450 * sim::kMicrosecond;
+       t += 10 * sim::kMicrosecond)
+    mon.poll(t);
+  // Due at t=0 (first poll), then 100, 200, 300, 400 us.
+  EXPECT_EQ(mon.samples_taken(), 5u);
+  ASSERT_EQ(mon.snapshot_count(), 5u);
+  EXPECT_EQ(mon.snapshot(0).when, 0);
+  EXPECT_EQ(mon.snapshot(1).when, 100 * sim::kMicrosecond);
+  EXPECT_EQ(mon.snapshot(4).when, 400 * sim::kMicrosecond);
+  ASSERT_EQ(mon.snapshot(0).values.size(), 1u);
+  EXPECT_DOUBLE_EQ(mon.snapshot(0).values[0], 1.0);
+
+  // Sparse polling never samples more than once per poll.
+  obs::Monitor sparse(reg, 100 * sim::kMicrosecond);
+  sparse.set_log(nullptr);
+  sparse.poll(0);
+  sparse.poll(1000 * sim::kMicrosecond);  // 9 periods skipped: 1 sample
+  EXPECT_EQ(sparse.samples_taken(), 2u);
+}
+
+TEST(Monitor, SloBreachesOnceAndRemembersFirst) {
+  obs::Registry reg;
+  auto& c = reg.counter("hot");
+  obs::Monitor mon(reg, 10 * sim::kMicrosecond);
+  mon.set_log(nullptr);  // keep test output clean; logging is one fprintf
+  mon.add_slo("hot.bound", 5.0, [](const obs::Registry& r) {
+    return static_cast<double>(r.get("hot"));
+  });
+
+  mon.poll(0);  // value 0: healthy
+  EXPECT_EQ(mon.breaches(), 0u);
+  c.add(7);
+  mon.poll(10 * sim::kMicrosecond);  // 7 > 5: first breach
+  c.add(100);
+  mon.poll(20 * sim::kMicrosecond);  // still sick: must not re-arm
+  ASSERT_EQ(mon.breaches(), 1u);
+  const auto& slo = mon.slos()[0];
+  EXPECT_TRUE(slo.breached);
+  EXPECT_EQ(slo.breach_when, 10 * sim::kMicrosecond);
+  EXPECT_DOUBLE_EQ(slo.breach_value, 7.0);  // the first breach, not 107
+
+  const std::string json = render([&](std::FILE* f) { mon.dump_json(f); });
+  EXPECT_NE(json.find("\"name\":\"hot.bound\""), std::string::npos);
+  EXPECT_NE(json.find("\"breached\":true"), std::string::npos);
+}
+
+TEST(Monitor, SnapshotRingOverwritesOldest) {
+  obs::Registry reg;
+  obs::Monitor mon(reg, 1, /*max_snapshots=*/4);
+  mon.set_log(nullptr);
+  for (sim::Time t = 1; t <= 10; ++t) mon.poll(t);
+  EXPECT_EQ(mon.samples_taken(), 10u);
+  ASSERT_EQ(mon.snapshot_count(), 4u);
+  EXPECT_EQ(mon.snapshot(0).when, 7);
+  EXPECT_EQ(mon.snapshot(3).when, 10);
+}
+
+// ---------------------------------------------------------------------
+// Per-LP Perfetto export
+// ---------------------------------------------------------------------
+
+// Pinned output format for the per-LP scheduler tracks, like
+// Perfetto.GoldenFormat pins the node/core exporter: busy slice with
+// event/inbox args, stall slice covering [busy_end, window_end-1), and
+// a critical-LP instant with the window's slack.
+TEST(Perfetto, LpTraceGoldenFormat) {
+  obs::LpWindowLog log;
+  log.reset(/*num_lps=*/2, /*capacity=*/8);
+
+  // Window [1000, 3001): LP0 busy to 2000 then stalled, LP1 idle all
+  // window; LP0 is critical with 500 ns slack.
+  obs::LpWindow& w = log.append(1000, 3001, /*critical_lp=*/0,
+                                /*slack_ns=*/500);
+  w.per_lp[0] = obs::LpWindowStat{/*events=*/3, /*inbox=*/2,
+                                  /*busy_until=*/2000};
+  w.per_lp[1] = obs::LpWindowStat{/*events=*/0, /*inbox=*/0,
+                                  /*busy_until=*/0};
+
+  const std::string got =
+      render([&](std::FILE* f) { obs::write_lp_trace(f, log); });
+  const std::string want =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1000,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"lp0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1001,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"lp1\"}},\n"
+      "{\"name\":\"busy\",\"cat\":\"lp\",\"ph\":\"X\",\"pid\":1000,"
+      "\"tid\":0,\"ts\":1.000,\"dur\":1.000,"
+      "\"args\":{\"events\":3,\"inbox\":2}},\n"
+      "{\"name\":\"stall\",\"cat\":\"lp\",\"ph\":\"X\",\"pid\":1000,"
+      "\"tid\":0,\"ts\":2.000,\"dur\":1.000},\n"
+      "{\"name\":\"critical\",\"cat\":\"lp\",\"ph\":\"i\",\"s\":\"t\","
+      "\"pid\":1000,\"tid\":0,\"ts\":1.000,\"args\":{\"slack_us\":0.500}},\n"
+      "{\"name\":\"stall\",\"cat\":\"lp\",\"ph\":\"X\",\"pid\":1001,"
+      "\"tid\":0,\"ts\":1.000,\"dur\":2.000}\n"
+      "],\"displayTimeUnit\":\"ns\"}\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(Perfetto, LpWindowLogRingOverwritesOldest) {
+  obs::LpWindowLog log;
+  log.reset(1, /*capacity=*/2);
+  for (sim::Time t = 0; t < 5; ++t)
+    log.append(t * 100, t * 100 + 100, 0, 0);
+  EXPECT_EQ(log.total(), 5u);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.window(0).start, 300);  // chronological: oldest retained
+  EXPECT_EQ(log.window(1).start, 400);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "lp_mesh.hpp"
 #include "obs/attrib.hpp"
 #include "obs/flight.hpp"
+#include "obs/wallprof.hpp"
 
 using namespace openmx;
 
@@ -174,6 +175,46 @@ std::vector<Metric> compute_metrics() {
       std::exit(1);
     }
     m.push_back({"obs.recorder_overhead", ratio, 0.10});
+  }
+
+  // Wall-clock self-profiler: the same contract as the flight recorder —
+  // zones are compiled in and enabled by default, so their cost on a
+  // realistic event mix is pinned below 3 % (ratio = t_off / t_on with
+  // the 0.97 hard floor, best-of-3 against scheduler noise).
+  {
+    obs::WallProfiler& prof = obs::WallProfiler::instance();
+    const bool was_enabled = prof.enabled();
+    auto wallprof_ratio = [&prof] {
+      auto workload = [&prof](bool on) {
+        prof.set_enabled(on);
+        using clock = std::chrono::steady_clock;
+        const auto t0 = clock::now();
+        // ~0.2 s per side: long enough that scheduler jitter stays well
+        // inside the 3 % budget the floor below enforces.
+        for (int r = 0; r < 8; ++r) {
+          bench::Cluster cluster;
+          cluster.add_nodes(2, bench::cfg_omx_ioat());
+          bench::run_pingpong(cluster, 256 * sim::KiB, 12, 1);
+        }
+        return std::chrono::duration<double>(clock::now() - t0).count();
+      };
+      workload(false);  // warm caches/allocator
+      const double off = workload(false);
+      const double on = workload(true);
+      return on > 0 ? off / on : 0.0;
+    };
+    double ratio = wallprof_ratio();
+    if (ratio < 0.97) ratio = std::max(ratio, wallprof_ratio());
+    if (ratio < 0.97) ratio = std::max(ratio, wallprof_ratio());
+    prof.set_enabled(was_enabled);
+    if (ratio < 0.97) {
+      std::fprintf(stderr,
+                   "bench_guard: wallprof ratio %.3f below the 0.97 floor "
+                   "(scoped zones cost more than 3%%)\n",
+                   ratio);
+      std::exit(1);
+    }
+    m.push_back({"obs.wallprof_overhead", ratio, 0.10});
   }
 
   // Hybrid-fidelity cross-validation: the fluid FlowNetwork against the

@@ -26,6 +26,7 @@
 #include "dma/ioat.hpp"
 #include "mem/cache_model.hpp"
 #include "obs/registry.hpp"
+#include "obs/wallprof.hpp"
 #include "sim/engine.hpp"
 #include "sim/sweep.hpp"
 
@@ -212,24 +213,48 @@ namespace {
 // ring mesh, recorded as counters so the JSON is machine-comparable.
 // The events-scheduled totals of every mode must agree (the determinism
 // suite asserts bit-identical results; this is the perf-side echo).
+//
+// The wall-clock self-profiler runs alongside: each mode is profiled in
+// isolation (reset between modes), the barrier share of multi-LP worker
+// time lands in the table, and the sequential mode asserts that the
+// instrumented zones explain >= 90 % of the engine-run wall time — the
+// coverage contract that makes "where does the wall time go" claims
+// trustworthy.  Zone totals go to a *separate*
+// BENCH_sim_speed_wall_metrics.json: wall numbers are nondeterministic
+// and must never mix into the deterministic metrics stream.
 void run_scaleout_kpi() {
   const int kNodes = 8, kIters = 48;
   openmx::obs::Registry reg;
+  openmx::obs::Registry wall;
+  openmx::obs::WallProfiler& prof = openmx::obs::WallProfiler::instance();
+  const bool prof_on = prof.compiled_in() && prof.enabled();
 
+  prof.reset();
   const bench::SimSpeedPoint seq = bench::sim_speed_sequential(kNodes, kIters);
+  const double seq_coverage = prof.coverage("engine.run");
+  if (prof_on) prof.export_metrics(wall, "seq.");
   std::printf("\n=== sim_speed scale-out KPI (%d-node ring, %d iters) ===\n",
               kNodes, kIters);
-  std::printf("%-14s %14s %12s %12s\n", "mode", "events/s", "events",
-              "wall[ms]");
-  std::printf("%-14s %14.0f %12llu %12.1f\n", "sequential", seq.events_per_sec,
-              static_cast<unsigned long long>(seq.events),
-              1e3 * seq.wall_s);
+  std::printf("%-14s %14s %12s %12s %10s %10s\n", "mode", "events/s", "events",
+              "wall[ms]", "barrier%", "coverage");
+  std::printf("%-14s %14.0f %12llu %12.1f %10s %9.1f%%\n", "sequential",
+              seq.events_per_sec, static_cast<unsigned long long>(seq.events),
+              1e3 * seq.wall_s, "-", 100.0 * seq_coverage);
+  if (prof_on && seq_coverage < 0.90) {
+    std::fprintf(stderr,
+                 "FAIL: wall zones cover %.1f%% of sequential engine-run "
+                 "wall time (need >= 90%%)\n",
+                 100.0 * seq_coverage);
+    std::exit(1);
+  }
 
   reg.counter("sim_speed.nodes").add(static_cast<std::uint64_t>(kNodes));
   reg.counter("sim_speed.iters").add(static_cast<std::uint64_t>(kIters));
   reg.counter("sim_speed.events").add(seq.events);
   reg.counter("sim_speed.seq_events_per_sec")
       .add(static_cast<std::uint64_t>(seq.events_per_sec));
+  wall.counter("wall.coverage.seq_x1000")
+      .add(static_cast<std::uint64_t>(1000.0 * seq_coverage));
 
   double w4_speedup = 0;
   for (unsigned workers : {1u, 2u, 4u}) {
@@ -239,22 +264,34 @@ void run_scaleout_kpi() {
     const bool instrument = workers == 4;
     const std::string lp_trace =
         instrument ? bench::out_path("BENCH_sim_speed_lp_trace.json") : "";
+    prof.reset();
     const bench::SimSpeedPoint mlp = bench::sim_speed_multi_lp(
         kNodes, workers, kIters, instrument ? &reg : nullptr, lp_trace);
+    // Barrier share: wall time in lp.barrier_wait over all workers'
+    // top-level zone time — the scale-out tax the profiler was built to
+    // expose (compute shrinks with workers, the barrier does not).
+    const auto barrier = prof.totals("lp.barrier_wait");
+    const std::uint64_t top = prof.toplevel_ns();
+    const double bshare =
+        top ? static_cast<double>(barrier.ns) / static_cast<double>(top) : 0;
+    const std::string scope = "mlp_w" + std::to_string(workers) + ".";
+    if (prof_on) prof.export_metrics(wall, scope.c_str());
     if (instrument)
       std::printf("per-LP scheduler timeline: %s\n", lp_trace.c_str());
     const double speedup =
         seq.wall_s > 0 && mlp.wall_s > 0 ? seq.wall_s / mlp.wall_s : 0;
-    std::printf("%-14s %14.0f %12llu %12.1f   speedup %.2fx\n",
+    std::printf("%-14s %14.0f %12llu %12.1f %9.1f%% %10s   speedup %.2fx\n",
                 ("multi-lp w" + std::to_string(workers)).c_str(),
                 mlp.events_per_sec,
                 static_cast<unsigned long long>(mlp.events), 1e3 * mlp.wall_s,
-                speedup);
+                100.0 * bshare, "-", speedup);
     const std::string prefix = "sim_speed.mlp_w" + std::to_string(workers);
     reg.counter(prefix + "_events_per_sec")
         .add(static_cast<std::uint64_t>(mlp.events_per_sec));
     reg.counter(prefix + "_speedup_x1000")
         .add(static_cast<std::uint64_t>(1000.0 * speedup));
+    wall.counter("wall.barrier_share.w" + std::to_string(workers) + "_x1000")
+        .add(static_cast<std::uint64_t>(1000.0 * bshare));
     if (workers == 4) w4_speedup = speedup;
   }
   std::printf("4-worker speedup over sequential: %.2fx (on %u hardware "
@@ -263,6 +300,11 @@ void run_scaleout_kpi() {
   reg.counter("sim_speed.hardware_threads")
       .add(std::thread::hardware_concurrency());
   bench::emit_metrics_json("sim_speed", reg);
+  if (prof_on) {
+    std::printf("(host-time profile: %zu zones over %zu threads, clock %s)\n",
+                prof.num_zones(), prof.num_threads(), prof.clock_name());
+    bench::emit_metrics_json("sim_speed_wall", wall);
+  }
 }
 
 }  // namespace

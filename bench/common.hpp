@@ -192,6 +192,11 @@ inline TracedResult traced_pingpong(const OmxConfig& cfg, std::size_t len,
   eng.timeline().enable();
   eng.spans().enable();
   eng.attrib().enable();
+  // Dual-clock trace: capture host-time profiler slices alongside the
+  // virtual-time timeline (rendered as extra "host-thread*" processes).
+  obs::WallProfiler& prof = obs::WallProfiler::instance();
+  prof.reset();
+  prof.set_slice_capacity(1 << 16);
 
   TracedResult r;
   r.oneway = run_pingpong(cluster, len, iters, /*warmup=*/1);
@@ -208,12 +213,14 @@ inline TracedResult traced_pingpong(const OmxConfig& cfg, std::size_t len,
     std::printf("\n--- latency attribution ---\n");
     r.report.print(stdout);
   }
-  if (obs::write_chrome_trace_file(json_path, eng.timeline(), eng.spans(),
-                                   static_cast<int>(cluster.num_nodes()),
-                                   &eng.attrib()))
+  if (obs::write_dual_clock_trace_file(json_path, eng.timeline(), eng.spans(),
+                                       static_cast<int>(cluster.num_nodes()),
+                                       &eng.attrib()))
     std::printf(
-        "perfetto trace written to %s (%zu spans, avg dma-overlap %.3f us)\n",
-        json_path.c_str(), r.num_spans, r.avg_overlap_us);
+        "dual-clock perfetto trace written to %s (%zu spans, avg dma-overlap "
+        "%.3f us, %zu host threads)\n",
+        json_path.c_str(), r.num_spans, r.avg_overlap_us, prof.num_threads());
+  prof.set_slice_capacity(0);
   if (metrics) {
     collect_cluster_metrics(cluster, *metrics);
     r.report.to_registry(*metrics);

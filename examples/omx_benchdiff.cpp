@@ -1,0 +1,163 @@
+// omx_benchdiff: cross-run bench analytics.
+//
+// Diffs two trees of BENCH_*_metrics.json files — typically a fresh run
+// directory against the committed bench/baselines/ — and emits a
+// markdown regression/improvement report.  Direction heuristics decide
+// whether a metric moving up is good (throughput), bad (latency, stalls,
+// faults) or neutral (behavioral event counters), and tolerance bands
+// keep the report noise-aware: the guard baseline's per-row "tol" values
+// apply where names match, wall-clock-derived metrics get a wide band,
+// everything else the --tol default.  Identical trees always produce an
+// empty diff (the deterministic counters byte-match), so a same-commit
+// re-run can never report a spurious regression.
+//
+// Usage: omx_benchdiff [--base DIR] [--cur DIR] [--out REPORT.md]
+//                      [--guard GUARD.json] [--tol FRAC] [--strict]
+// Defaults: base = bench/baselines, cur = $OMX_BENCH_OUT_DIR (or "."),
+// guard = <base>/guard.json, report to stdout.  --strict exits 1 when
+// any regression is flagged (CI uses the default so the report uploads
+// even on a bad day).
+//
+// With no arguments and no metrics in the current directory, runs a
+// self-demo: diffs the committed baselines against themselves (must be
+// empty) and against a synthetically perturbed copy — which doubles as
+// the example smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bench/common.hpp"
+#include "obs/benchdiff.hpp"
+
+using namespace openmx;
+namespace bd = obs::benchdiff;
+
+namespace {
+
+/// Locates bench/baselines relative to the current directory (works from
+/// the repo root and from a build subdirectory).
+std::string find_baselines() {
+  namespace fs = std::filesystem;
+  for (const char* c : {"bench/baselines", "../bench/baselines",
+                        "../../bench/baselines"})
+    if (fs::exists(fs::path(c) / "guard.json")) return c;
+  return "bench/baselines";
+}
+
+int self_demo(const std::string& base_dir) {
+  std::printf("omx_benchdiff self-demo: %s vs itself\n", base_dir.c_str());
+  bd::Tolerances tol;
+  bd::load_guard_tolerances(base_dir + "/guard.json", tol);
+  const auto base = bd::load_tree(base_dir);
+  if (base.empty()) {
+    std::fprintf(stderr, "no BENCH_*_metrics.json under %s\n",
+                 base_dir.c_str());
+    return 2;
+  }
+  bd::Report same = bd::diff_trees(base, base, tol);
+  bd::write_markdown(stdout, same, base_dir, base_dir);
+  if (!same.rows.empty()) {
+    std::fprintf(stderr, "FAIL: identical trees produced %zu findings\n",
+                 same.rows.size());
+    return 1;
+  }
+
+  // Perturb one throughput metric by -20 % and show the flagged report.
+  auto cur = base;
+  for (auto& [bench, mm] : cur) {
+    for (auto& [name, v] : mm) {
+      if (bd::direction(name) > 0 && v > 0) {
+        std::printf("\ninjecting -20%% into %s / %s\n\n", bench.c_str(),
+                    name.c_str());
+        v *= 0.8;
+        bd::Report rep = bd::diff_trees(base, cur, tol);
+        bd::write_markdown(stdout, rep, base_dir, "(perturbed copy)");
+        return rep.count(bd::Status::kRegression) == 1 ? 0 : 1;
+      }
+    }
+  }
+  std::fprintf(stderr, "no perturbable metric found\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_dir;
+  std::string cur_dir;
+  std::string out_file;
+  std::string guard_file;
+  bd::Tolerances tol;
+  bool strict = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--base") {
+      base_dir = next();
+    } else if (arg == "--cur") {
+      cur_dir = next();
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--guard") {
+      guard_file = next();
+    } else if (arg == "--tol") {
+      tol.default_band = std::strtod(next(), nullptr);
+    } else if (arg == "--strict") {
+      strict = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: omx_benchdiff [--base DIR] [--cur DIR] "
+                   "[--out REPORT.md] [--guard GUARD.json] [--tol FRAC] "
+                   "[--strict]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (base_dir.empty()) base_dir = find_baselines();
+  if (guard_file.empty()) guard_file = base_dir + "/guard.json";
+  if (cur_dir.empty()) {
+    const char* env = std::getenv("OMX_BENCH_OUT_DIR");
+    cur_dir = env && *env ? env : ".";
+    // Bare invocation with nothing to compare: run the self-demo instead
+    // of reporting an empty diff (this is the example smoke-test path).
+    if (argc == 1 && bd::load_tree(cur_dir).empty())
+      return self_demo(base_dir);
+  }
+
+  bd::load_guard_tolerances(guard_file, tol);
+  const auto base = bd::load_tree(base_dir);
+  const auto cur = bd::load_tree(cur_dir);
+  if (base.empty() || cur.empty()) {
+    std::fprintf(stderr, "no BENCH_*_metrics.json found (base %s: %zu, cur "
+                 "%s: %zu)\n",
+                 base_dir.c_str(), base.size(), cur_dir.c_str(), cur.size());
+    return 2;
+  }
+
+  const bd::Report rep = bd::diff_trees(base, cur, tol);
+  if (out_file.empty()) {
+    bd::write_markdown(stdout, rep, base_dir, cur_dir);
+  } else {
+    const std::string path = bench::out_path(out_file);
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      bd::write_markdown(f, rep, base_dir, cur_dir);
+      std::fclose(f);
+      std::printf("report written to %s (%zu regressions, %zu improvements)\n",
+                  path.c_str(), rep.count(bd::Status::kRegression),
+                  rep.count(bd::Status::kImprovement));
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+  }
+  return strict && rep.count(bd::Status::kRegression) ? 1 : 0;
+}

@@ -5,6 +5,7 @@
 
 #include "core/cluster.hpp"
 #include "core/driver.hpp"
+#include "obs/wallprof.hpp"
 
 using namespace openmx;
 
@@ -72,5 +73,16 @@ int main() {
               tuned.ioat_min_frag, tuned.ioat_min_msg / sim::KiB);
   std::printf("  regcache:        %s\n",
               tuned.regcache ? "enabled" : "disabled");
+
+  const obs::WallProfiler& prof = obs::WallProfiler::instance();
+  std::printf("\nhost wall-clock profiler (obs::WallProfiler)\n");
+  std::printf("  compiled in:     %s (ENABLE_WALLPROF)\n",
+              obs::WallProfiler::compiled_in() ? "yes" : "no");
+  std::printf("  runtime:         %s (OMX_WALLPROF=0 disables)\n",
+              prof.enabled() ? "enabled" : "disabled");
+  std::printf("  clock source:    %s (%.4f ns/tick)\n", prof.clock_name(),
+              prof.ns_per_tick());
+  std::printf("  zones interned:  %zu across %zu registered threads\n",
+              prof.num_zones(), prof.num_threads());
   return 0;
 }

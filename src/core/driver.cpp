@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/wallprof.hpp"
+
 namespace openmx::core {
 
 namespace {
@@ -398,6 +400,7 @@ std::size_t Driver::cmd_local_copy(sim::SimThread& thread, int core,
       const sim::Time redo =
           node_.params().memcpy_model.duration(n, kPage, 0.0, false);
       machine.thread_advance(thread, core, redo, cpu::Cat::DriverSyscall);
+      OMX_WALL_ZONE("driver.copy");
       for_piece_pairs(m.segs, dst, n,
                       [&](const std::uint8_t* sp, std::uint8_t* dp,
                           std::size_t len) { std::memcpy(dp, sp, len); });
@@ -425,6 +428,7 @@ std::size_t Driver::cmd_local_copy(sim::SimThread& thread, int core,
     const double bw = hf * c.shm_cached_bw + (1.0 - hf) * c.shm_uncached_bw;
     const sim::Time dur = sim::duration_for_bytes(n, bw);
     machine.thread_advance(thread, core, dur, cpu::Cat::DriverSyscall);
+    OMX_WALL_ZONE("driver.copy");
     for_piece_pairs(m.segs, dst, n,
                     [&](const std::uint8_t* sp, std::uint8_t* dp,
                         std::size_t len) {
@@ -688,6 +692,7 @@ void Driver::rx(net::Skbuff skb) {
   }
   node_.machine().submit_keyed(
       core, cpu::Cat::BottomHalf, akey, [this, shared]() -> cpu::TaskResult {
+        OMX_WALL_ZONE("driver.bh");
         BhCtx ctx;
         const auto* pkt = dynamic_cast<const OmxPkt*>(shared->payload());
         if (pkt) {
@@ -847,6 +852,7 @@ void Driver::bh_eager(BhCtx& ctx, net::Skbuff& skb) {
         // Failed descriptors moved no bytes: redo those fragments' ring
         // copies with the CPU before the events become visible.
         auto& rxs2 = it->second;
+        OMX_WALL_ZONE("driver.copy");
         for (std::size_t i = 0; i < rxs2.pending.size(); ++i) {
           const auto& pc = rxs2.pending[i];
           if (pc.first &&
@@ -1085,6 +1091,7 @@ void Driver::bh_pull_reply(BhCtx& ctx, net::Skbuff& skb) {
       const bool span_on = spans.enabled();
       ctx.effect([segs, dst_off, src_bytes, n, skb_copy, this, bh_core,
                   span_on, skey]() mutable {
+        OMX_WALL_ZONE("driver.copy");
         segs.write(dst_off, src_bytes, n);
         segs.for_pieces(dst_off, n, [&](std::uint8_t* dp, std::size_t len) {
           node_.cache_for_core(bh_core).touch(dp, len);

@@ -9,6 +9,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/timeline.hpp"
+#include "obs/wallprof.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -109,6 +110,7 @@ class IoatEngine {
   /// engine time as distinct obs::Wait categories for that message.
   std::uint64_t submit(int chan, const std::uint8_t* src, std::uint8_t* dst,
                        std::size_t len, std::uint64_t attrib_key = 0) {
+    OMX_WALL_ZONE("dma.submit");
     Channel& c = channel(chan);
     const std::uint64_t cookie = c.next_cookie++;
     DmaFault fault;
@@ -266,6 +268,7 @@ class IoatEngine {
   }
 
   void complete_next(int chan) {
+    OMX_WALL_ZONE("dma.complete");
     Channel& c = channel(chan);
     if (c.inflight.empty())
       throw std::logic_error("IoatEngine: completion with empty queue");

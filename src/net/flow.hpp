@@ -22,6 +22,7 @@
 
 #include "net/network.hpp"
 #include "obs/monitor.hpp"
+#include "obs/wallprof.hpp"
 #include "sim/engine.hpp"
 #include "sim/lp.hpp"
 #include "sim/stats.hpp"
@@ -369,6 +370,7 @@ class FlowNetwork {
   /// every component flow's residual bytes to `now` at its old rate,
   /// install the new rate, and reschedule its completion event.
   void resolve(std::vector<std::size_t> seeds) {
+    OMX_WALL_ZONE("flow.solve");
     const sim::Time now = engine_.now();
     c_resolves_->add();
 

@@ -11,6 +11,7 @@
 
 #include "cpu/machine.hpp"
 #include "mem/memcpy_model.hpp"
+#include "obs/wallprof.hpp"
 #include "sim/engine.hpp"
 #include "sim/lp.hpp"
 #include "sim/rng.hpp"
@@ -316,6 +317,7 @@ class Network {
   /// occupies the receiver's rx port (which is also where the NIC's DMA
   /// into host memory is accounted for bus-contention purposes).
   void transmit(Frame frame) {
+    OMX_WALL_ZONE("net.transmit");
     if (frame.wire_bytes > params_.mtu + 64)
       throw std::logic_error("Network: frame exceeds MTU");
     const auto src = static_cast<std::size_t>(frame.src_node);
@@ -467,6 +469,7 @@ class Network {
   }
 
   void process_claim(std::size_t dst) {
+    OMX_WALL_ZONE("net.rx_claim");
     ClaimHeap& heap = claims_[dst];
     assert(!heap.empty() && heap.top().claim_time == engine_.now());
     RxClaim c = heap.top();

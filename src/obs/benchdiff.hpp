@@ -1,0 +1,303 @@
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openmx::obs::benchdiff {
+
+/// Cross-run bench analytics: diff two trees of BENCH_*_metrics.json
+/// files (obs::Registry::dump_json output, as committed under
+/// bench/baselines/ and emitted by every bench run) and classify each
+/// metric's change as regression / improvement / neutral drift.
+///
+/// Three ingredients keep the report noise-aware rather than a raw diff:
+///  - direction: a metric name implies whether up is good ("..._mibs",
+///    "..._per_sec"), bad ("..._ns", "...stall..."), or neutral (plain
+///    event counters — deterministic, so any drift is *behavioral* and
+///    reported as "changed" without a better/worse verdict);
+///  - tolerance bands: the guard baseline's per-row "tol" values are
+///    honored for matching names, wall-clock-derived metrics get a wide
+///    band (host noise), everything else the caller's default band;
+///  - identical inputs produce an empty diff by construction — the
+///    deterministic counters byte-match, so a same-commit re-run can
+///    never report a spurious regression.
+
+struct Tolerances {
+  double default_band = 0.05;  // fractional change considered noise
+  double wall_band = 0.25;     // for wall-clock-derived metrics
+  std::map<std::string, double> per_metric;  // guard.json overrides
+
+  [[nodiscard]] double band_for(const std::string& name) const;
+};
+
+/// Flattened metric values of one BENCH_*_metrics.json file: counters as
+/// "name", histogram fields as "name.count"/"name.mean"/"name.p99"/...,
+/// gauges as "name.value"/"name.peak".
+using MetricMap = std::map<std::string, double>;
+
+enum class Status { kRegression, kImprovement, kChanged, kAdded, kRemoved };
+
+struct Row {
+  std::string bench;   // file stem, e.g. "fig08_pingpong_ioat"
+  std::string metric;  // flattened metric name
+  double base = 0;
+  double cur = 0;
+  double delta = 0;  // fractional change vs. base (0 when base == 0)
+  double band = 0;   // tolerance band applied
+  Status status = Status::kChanged;
+};
+
+struct Report {
+  std::vector<Row> rows;  // only metrics outside their band (or added/removed)
+  std::size_t files_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::size_t in_band = 0;
+
+  [[nodiscard]] std::size_t count(Status s) const {
+    std::size_t n = 0;
+    for (const Row& r : rows) n += r.status == s;
+    return n;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Extracts the quoted key at the start of a dump_json line ("name": ...).
+inline bool parse_key(const char* line, std::string& key, const char** rest) {
+  const char* p = line;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '"') return false;
+  const char* end = std::strchr(p + 1, '"');
+  if (!end) return false;
+  key.assign(p + 1, end);
+  p = end + 1;
+  if (*p != ':') return false;
+  *rest = p + 1;
+  return true;
+}
+
+/// Parses one Registry::dump_json document into flattened metrics.
+/// Line-oriented over the exact shape dump_json emits — not a general
+/// JSON parser, by design (same idiom as bench_guard's baseline reader).
+inline bool parse_metrics_file(const std::string& path, MetricMap& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  char line[1024];
+  std::string section;
+  std::string key;
+  while (std::fgets(line, sizeof line, f)) {
+    const char* rest = nullptr;
+    if (!parse_key(line, key, &rest)) continue;
+    while (*rest == ' ') ++rest;
+    if (*rest == '{' && !std::strchr(rest, '"')) {
+      section = key;  // "counters": { ... section opener
+      continue;
+    }
+    if (section == "counters") {
+      out[key] = std::strtod(rest, nullptr);
+    } else if (!section.empty()) {
+      // histogram / gauge object on one line: {"count": 1, "mean": 2.5, ...}
+      const char* p = rest;
+      std::string field;
+      while ((p = std::strchr(p, '"'))) {
+        const char* fe = std::strchr(p + 1, '"');
+        if (!fe || fe[1] != ':') break;
+        field.assign(p + 1, fe);
+        out[key + "." + field] = std::strtod(fe + 2, nullptr);
+        p = fe + 2;
+      }
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Loads the guard baseline's per-row tolerance bands ("name": {"value":
+/// v, "tol": t}) into `tol.per_metric`.  Missing file is not an error —
+/// the defaults simply apply everywhere.
+inline void load_guard_tolerances(const std::string& path, Tolerances& tol) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return;
+  char line[512];
+  char name[256];
+  double value = 0, t = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::sscanf(line, " \"%255[^\"]\": {\"value\": %lf, \"tol\": %lf}",
+                    name, &value, &t) == 3)
+      tol.per_metric[name] = t;
+  }
+  std::fclose(f);
+}
+
+/// All BENCH_*_metrics.json files directly inside `dir`, keyed by bench
+/// stem ("BENCH_<stem>_metrics.json" -> "<stem>"), sorted by key.
+inline std::map<std::string, MetricMap> load_tree(const std::string& dir) {
+  std::map<std::string, MetricMap> tree;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string fn = e.path().filename().string();
+    constexpr std::string_view kPre = "BENCH_", kSuf = "_metrics.json";
+    if (fn.size() <= kPre.size() + kSuf.size() || fn.compare(0, kPre.size(), kPre) ||
+        fn.compare(fn.size() - kSuf.size(), kSuf.size(), kSuf))
+      continue;
+    const std::string stem =
+        fn.substr(kPre.size(), fn.size() - kPre.size() - kSuf.size());
+    parse_metrics_file(e.path().string(), tree[stem]);
+  }
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Direction + tolerance heuristics
+// ---------------------------------------------------------------------------
+
+inline bool name_contains(const std::string& name, std::string_view needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+/// +1 when larger is better, -1 when smaller is better, 0 when the
+/// metric is a neutral behavioral counter (drift is "changed", not
+/// better/worse).
+inline int direction(const std::string& name) {
+  for (const char* up : {"mibs", "per_sec", "speedup", "overlap",
+                         "hit_frac", "regcache.hit", "coverage"})
+    if (name_contains(name, up)) return +1;
+  for (const char* down : {"_ns", ".ns", "_us", "stall", "wait", "drop",
+                           "retrans", "failure", "fault", "dup", "nack",
+                           "cpu_frac", "excl_ns", "timeout"})
+    if (name_contains(name, down)) return -1;
+  return 0;
+}
+
+/// Wall-clock-derived metrics: host-noise dominated, wide band.
+inline bool is_wall_metric(const std::string& name) {
+  return name_contains(name, "wall.") || name_contains(name, "per_sec") ||
+         name_contains(name, "speedup") ||
+         name_contains(name, "hardware_threads");
+}
+
+inline double Tolerances::band_for(const std::string& name) const {
+  auto it = per_metric.find(name);
+  if (it != per_metric.end()) return it->second;
+  return is_wall_metric(name) ? wall_band : default_band;
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+/// Compares two loaded trees: `base` (the reference, e.g. committed
+/// baselines) vs `cur` (the fresh run).  Only benches present in *both*
+/// trees are compared — baselines typically cover a subset of what a
+/// full run emits, and an extra file in either tree is not a finding.
+inline Report diff_trees(const std::map<std::string, MetricMap>& base,
+                         const std::map<std::string, MetricMap>& cur,
+                         const Tolerances& tol) {
+  Report rep;
+  for (const auto& [bench, bm] : base) {
+    auto ci = cur.find(bench);
+    if (ci == cur.end()) continue;
+    ++rep.files_compared;
+    const MetricMap& cm = ci->second;
+    for (const auto& [name, bv] : bm) {
+      auto mi = cm.find(name);
+      if (mi == cm.end()) {
+        rep.rows.push_back({bench, name, bv, 0, 0, 0, Status::kRemoved});
+        continue;
+      }
+      ++rep.metrics_compared;
+      const double cv = mi->second;
+      const double band = tol.band_for(name);
+      const double delta =
+          bv != 0 ? (cv - bv) / std::fabs(bv) : (cv != 0 ? 1.0 : 0.0);
+      if (std::fabs(delta) <= band) {
+        ++rep.in_band;
+        continue;
+      }
+      const int dir = direction(name);
+      Status st = Status::kChanged;
+      if (dir > 0) st = delta < 0 ? Status::kRegression : Status::kImprovement;
+      if (dir < 0) st = delta > 0 ? Status::kRegression : Status::kImprovement;
+      rep.rows.push_back({bench, name, bv, cv, delta, band, st});
+    }
+    for (const auto& [name, cv] : cm)
+      if (!bm.count(name))
+        rep.rows.push_back({bench, name, 0, cv, 0, 0, Status::kAdded});
+  }
+  // Most severe first: regressions, improvements, changed, added/removed;
+  // by |delta| within each class.
+  std::stable_sort(rep.rows.begin(), rep.rows.end(),
+                   [](const Row& a, const Row& b) {
+                     if (a.status != b.status)
+                       return static_cast<int>(a.status) <
+                              static_cast<int>(b.status);
+                     return std::fabs(a.delta) > std::fabs(b.delta);
+                   });
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Markdown report
+// ---------------------------------------------------------------------------
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kRegression: return "regression";
+    case Status::kImprovement: return "improvement";
+    case Status::kChanged: return "changed";
+    case Status::kAdded: return "added";
+    case Status::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+inline void write_markdown(std::FILE* out, const Report& rep,
+                           const std::string& base_label,
+                           const std::string& cur_label) {
+  std::fprintf(out, "# omx_benchdiff report\n\n");
+  std::fprintf(out, "- base: `%s`\n- current: `%s`\n", base_label.c_str(),
+               cur_label.c_str());
+  std::fprintf(out,
+               "- %zu benches, %zu metrics compared, %zu within tolerance\n",
+               rep.files_compared, rep.metrics_compared, rep.in_band);
+  std::fprintf(out,
+               "- **%zu regressions**, %zu improvements, %zu neutral "
+               "changes, %zu added, %zu removed\n\n",
+               rep.count(Status::kRegression), rep.count(Status::kImprovement),
+               rep.count(Status::kChanged), rep.count(Status::kAdded),
+               rep.count(Status::kRemoved));
+  if (rep.rows.empty()) {
+    std::fprintf(out, "No metrics moved outside their tolerance bands.\n");
+    return;
+  }
+  std::fprintf(out, "| verdict | bench | metric | base | current | delta | band |\n");
+  std::fprintf(out, "|---|---|---|---:|---:|---:|---:|\n");
+  for (const Row& r : rep.rows) {
+    if (r.status == Status::kAdded || r.status == Status::kRemoved) {
+      std::fprintf(out, "| %s | %s | %s | %.6g | %.6g | - | - |\n",
+                   status_name(r.status), r.bench.c_str(), r.metric.c_str(),
+                   r.base, r.cur);
+      continue;
+    }
+    std::fprintf(out, "| %s%s%s | %s | %s | %.6g | %.6g | %+.1f%% | %.0f%% |\n",
+                 r.status == Status::kRegression ? "**" : "",
+                 status_name(r.status),
+                 r.status == Status::kRegression ? "**" : "", r.bench.c_str(),
+                 r.metric.c_str(), r.base, r.cur, 100.0 * r.delta,
+                 100.0 * r.band);
+  }
+}
+
+}  // namespace openmx::obs::benchdiff

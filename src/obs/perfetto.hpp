@@ -11,6 +11,7 @@
 #include "obs/attrib.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
+#include "obs/wallprof.hpp"
 #include "sim/time.hpp"
 
 namespace openmx::obs {
@@ -29,16 +30,14 @@ namespace openmx::obs {
 /// "blame:<critical-resource>" slice over the whole message whose args
 /// are the per-category latency attribution (attribute_blame) in
 /// microseconds — the causal breakdown right next to the waterfall.
-inline void write_chrome_trace(std::FILE* out, const Timeline& tl,
-                               const SpanTable& spans, int num_nodes,
-                               const AttribTable* attrib = nullptr) {
-  bool first = true;
+inline void write_chrome_trace_events(std::FILE* out, bool& first,
+                                      const Timeline& tl,
+                                      const SpanTable& spans, int num_nodes,
+                                      const AttribTable* attrib = nullptr) {
   auto sep = [&] {
     std::fputs(first ? "\n" : ",\n", out);
     first = false;
   };
-
-  std::fputs("{\"traceEvents\":[", out);
 
   for (int n = 0; n < num_nodes; ++n) {
     sep();
@@ -141,7 +140,16 @@ inline void write_chrome_trace(std::FILE* out, const Timeline& tl,
       }
     }
   }
+}
 
+/// Complete single-clock trace document (the historical entry point):
+/// the virtual-time event body wrapped in the traceEvents envelope.
+inline void write_chrome_trace(std::FILE* out, const Timeline& tl,
+                               const SpanTable& spans, int num_nodes,
+                               const AttribTable* attrib = nullptr) {
+  bool first = true;
+  std::fputs("{\"traceEvents\":[", out);
+  write_chrome_trace_events(out, first, tl, spans, num_nodes, attrib);
   std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", out);
 }
 
@@ -154,6 +162,37 @@ inline bool write_chrome_trace_file(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   write_chrome_trace(f, tl, spans, num_nodes, attrib);
+  std::fclose(f);
+  return true;
+}
+
+/// Dual-clock trace: the virtual-time node timeline plus one host-time
+/// process per profiled thread (WallProfiler slices, pids from
+/// WallProfiler::kWallTracePidBase), in a single document.  The two
+/// clocks share the microsecond axis but not an origin — the host tracks
+/// start at the profiler epoch — so the view reads as "what the
+/// simulated cluster did" next to "what the simulator's threads paid for
+/// it".  Requires slice capture (WallProfiler::set_slice_capacity) to
+/// have been enabled before the run; with it off the host tracks are
+/// simply absent and the document equals write_chrome_trace's.
+inline void write_dual_clock_trace(std::FILE* out, const Timeline& tl,
+                                   const SpanTable& spans, int num_nodes,
+                                   const AttribTable* attrib = nullptr) {
+  bool first = true;
+  std::fputs("{\"traceEvents\":[", out);
+  write_chrome_trace_events(out, first, tl, spans, num_nodes, attrib);
+  WallProfiler::instance().write_trace_events(out, first);
+  std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", out);
+}
+
+/// Convenience wrapper writing the dual-clock trace straight to `path`.
+inline bool write_dual_clock_trace_file(const std::string& path,
+                                        const Timeline& tl,
+                                        const SpanTable& spans, int num_nodes,
+                                        const AttribTable* attrib = nullptr) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  write_dual_clock_trace(f, tl, spans, num_nodes, attrib);
   std::fclose(f);
   return true;
 }

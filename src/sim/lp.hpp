@@ -17,6 +17,7 @@
 #include "obs/monitor.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
+#include "obs/wallprof.hpp"
 #include "sim/engine.hpp"
 #include "sim/thread_pool.hpp"
 #include "sim/time.hpp"
@@ -315,19 +316,27 @@ class LpScheduler {
     using Clock = std::chrono::steady_clock;
     std::uint64_t wait_ns = 0;
     for (;;) {
-      if (w == 0) plan_window();
+      if (w == 0) {
+        OMX_WALL_ZONE("lp.plan");
+        plan_window();
+      }
       if (wall_stats_) {
         const auto t0 = Clock::now();
-        barrier_.arrive_and_wait();
+        {
+          OMX_WALL_ZONE("lp.barrier_wait");
+          barrier_.arrive_and_wait();
+        }
         wait_ns += static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t0)
                 .count());
       } else {
+        OMX_WALL_ZONE("lp.barrier_wait");
         barrier_.arrive_and_wait();
       }
       if (done_) break;
       try {
+        OMX_WALL_ZONE("lp.window_compute");
         for (std::size_t i = w; i < lps_.size(); i += nworkers_)
           run_window(*lps_[i]);
       } catch (...) {
@@ -336,12 +345,16 @@ class LpScheduler {
       }
       if (wall_stats_) {
         const auto t0 = Clock::now();
-        barrier_.arrive_and_wait();
+        {
+          OMX_WALL_ZONE("lp.barrier_wait");
+          barrier_.arrive_and_wait();
+        }
         wait_ns += static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t0)
                 .count());
       } else {
+        OMX_WALL_ZONE("lp.barrier_wait");
         barrier_.arrive_and_wait();
       }
     }
@@ -430,6 +443,7 @@ class LpScheduler {
     const std::uint64_t ev_before = lp.engine_.events_dispatched();
     const std::size_t depth = lp.inbox_.size();
     if (!lp.inbox_.empty()) {
+      OMX_WALL_ZONE("lp.inbox_merge");
       std::sort(lp.inbox_.begin(), lp.inbox_.end(),
                 [](const LpMessage& a, const LpMessage& b) {
                   return a.before(b);

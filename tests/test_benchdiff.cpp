@@ -1,0 +1,228 @@
+// omx_benchdiff analytics: metrics-tree parsing, direction heuristics,
+// tolerance bands, and the headline contract — an injected 20 %
+// regression is flagged as exactly one row while identical trees report
+// nothing (zero spurious regressions).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "obs/benchdiff.hpp"
+#include "obs/registry.hpp"
+
+using namespace openmx;
+namespace bd = obs::benchdiff;
+namespace fs = std::filesystem;
+
+namespace {
+
+class BenchdiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::path(testing::TempDir()) / "bd_base";
+    cur_ = fs::path(testing::TempDir()) / "bd_cur";
+    fs::remove_all(base_);
+    fs::remove_all(cur_);
+    fs::create_directories(base_);
+    fs::create_directories(cur_);
+  }
+  void TearDown() override {
+    fs::remove_all(base_);
+    fs::remove_all(cur_);
+  }
+
+  /// Writes `reg` as BENCH_<stem>_metrics.json into `dir` — the exact
+  /// artifact shape every bench emits.
+  static void write_metrics(const fs::path& dir, const std::string& stem,
+                            const obs::Registry& reg) {
+    const fs::path p = dir / ("BENCH_" + stem + "_metrics.json");
+    std::FILE* f = std::fopen(p.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    reg.dump_json(f);
+    std::fclose(f);
+  }
+
+  static obs::Registry demo_registry() {
+    obs::Registry reg;
+    reg.counter("fig.demo_1MB_mibs").add(1000);
+    reg.counter("driver.pull_reqs").add(4456);
+    reg.counter("driver.stall_ns").add(50'000);
+    reg.histogram("driver.pull_ns").add(100);
+    reg.histogram("driver.pull_ns").add(300);
+    return reg;
+  }
+
+  fs::path base_, cur_;
+};
+
+TEST_F(BenchdiffTest, ParseRoundTripsRegistryDump) {
+  write_metrics(base_, "demo", demo_registry());
+  bd::MetricMap m;
+  ASSERT_TRUE(bd::parse_metrics_file(
+      (base_ / "BENCH_demo_metrics.json").string(), m));
+  EXPECT_DOUBLE_EQ(m.at("fig.demo_1MB_mibs"), 1000.0);
+  EXPECT_DOUBLE_EQ(m.at("driver.pull_reqs"), 4456.0);
+  // Histograms flatten to name.field.
+  EXPECT_DOUBLE_EQ(m.at("driver.pull_ns.count"), 2.0);
+  EXPECT_DOUBLE_EQ(m.at("driver.pull_ns.mean"), 200.0);
+  EXPECT_DOUBLE_EQ(m.at("driver.pull_ns.max"), 300.0);
+}
+
+TEST_F(BenchdiffTest, IdenticalTreesProduceEmptyDiff) {
+  write_metrics(base_, "demo", demo_registry());
+  write_metrics(cur_, "demo", demo_registry());
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()),
+                     bd::load_tree(cur_.string()), bd::Tolerances{});
+  EXPECT_EQ(rep.rows.size(), 0u);
+  EXPECT_EQ(rep.files_compared, 1u);
+  EXPECT_GT(rep.metrics_compared, 0u);
+  EXPECT_EQ(rep.in_band, rep.metrics_compared);
+}
+
+TEST_F(BenchdiffTest, InjectedRegressionFlagsExactlyThatRow) {
+  write_metrics(base_, "demo", demo_registry());
+  obs::Registry reg;
+  reg.counter("fig.demo_1MB_mibs").add(800);  // -20 % throughput
+  reg.counter("driver.pull_reqs").add(4456);
+  reg.counter("driver.stall_ns").add(50'000);
+  reg.histogram("driver.pull_ns").add(100);
+  reg.histogram("driver.pull_ns").add(300);
+  write_metrics(cur_, "demo", reg);
+
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()),
+                     bd::load_tree(cur_.string()), bd::Tolerances{});
+  ASSERT_EQ(rep.rows.size(), 1u);
+  const bd::Row& r = rep.rows[0];
+  EXPECT_EQ(r.status, bd::Status::kRegression);
+  EXPECT_EQ(r.bench, "demo");
+  EXPECT_EQ(r.metric, "fig.demo_1MB_mibs");
+  EXPECT_NEAR(r.delta, -0.2, 1e-9);
+  EXPECT_EQ(rep.count(bd::Status::kRegression), 1u);
+}
+
+TEST_F(BenchdiffTest, DirectionHeuristics) {
+  EXPECT_GT(bd::direction("fig08.ioat_256kB_mibs"), 0);
+  EXPECT_GT(bd::direction("sim_speed.seq_events_per_sec"), 0);
+  EXPECT_LT(bd::direction("driver.stall_ns"), 0);
+  EXPECT_LT(bd::direction("lp.0.barrier_stall_ns"), 0);
+  EXPECT_LT(bd::direction("driver.pull_ns.p99"), 0);
+  EXPECT_EQ(bd::direction("driver.pull_reqs"), 0);
+}
+
+TEST_F(BenchdiffTest, LowerIsBetterMetricsRegressUpward) {
+  write_metrics(base_, "demo", demo_registry());
+  obs::Registry reg = demo_registry();
+  reg.counter("driver.stall_ns").add(25'000);  // +50 % stalls on top
+  write_metrics(cur_, "demo", reg);
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()),
+                     bd::load_tree(cur_.string()), bd::Tolerances{});
+  ASSERT_EQ(rep.rows.size(), 1u);
+  EXPECT_EQ(rep.rows[0].status, bd::Status::kRegression);
+  EXPECT_EQ(rep.rows[0].metric, "driver.stall_ns");
+  // The same move downward is an improvement.
+  obs::Registry better;
+  better.counter("fig.demo_1MB_mibs").add(1000);
+  better.counter("driver.pull_reqs").add(4456);
+  better.counter("driver.stall_ns").add(25'000);
+  better.histogram("driver.pull_ns").add(100);
+  better.histogram("driver.pull_ns").add(300);
+  write_metrics(cur_, "demo", better);
+  const bd::Report rep2 =
+      bd::diff_trees(bd::load_tree(base_.string()),
+                     bd::load_tree(cur_.string()), bd::Tolerances{});
+  ASSERT_EQ(rep2.rows.size(), 1u);
+  EXPECT_EQ(rep2.rows[0].status, bd::Status::kImprovement);
+}
+
+TEST_F(BenchdiffTest, ChangesWithinToleranceBandAreNoise) {
+  write_metrics(base_, "demo", demo_registry());
+  obs::Registry reg = demo_registry();
+  reg.counter("fig.demo_1MB_mibs").add(40);  // +4 %, inside the 5 % band
+  write_metrics(cur_, "demo", reg);
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()),
+                     bd::load_tree(cur_.string()), bd::Tolerances{});
+  EXPECT_EQ(rep.rows.size(), 0u);
+}
+
+TEST_F(BenchdiffTest, GuardTolerancesOverrideTheDefaultBand) {
+  const fs::path guard = base_ / "guard.json";
+  std::FILE* f = std::fopen(guard.string().c_str(), "w");
+  std::fprintf(f, "{\n  \"fig.demo_1MB_mibs\": {\"value\": 1000.000000, "
+               "\"tol\": 0.30}\n}\n");
+  std::fclose(f);
+  bd::Tolerances tol;
+  bd::load_guard_tolerances(guard.string(), tol);
+  EXPECT_DOUBLE_EQ(tol.band_for("fig.demo_1MB_mibs"), 0.30);
+  EXPECT_DOUBLE_EQ(tol.band_for("unlisted.metric"), tol.default_band);
+  // Wall-derived metrics get the wide band without any listing.
+  EXPECT_DOUBLE_EQ(tol.band_for("sim_speed.mlp_w4_events_per_sec"),
+                   tol.wall_band);
+
+  // A 20 % drop now sits inside the widened band: no finding.
+  write_metrics(base_, "demo", demo_registry());
+  obs::Registry reg = demo_registry();
+  write_metrics(cur_, "demo", reg);
+  auto cur = bd::load_tree(cur_.string());
+  cur["demo"]["fig.demo_1MB_mibs"] = 800;
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()), cur, tol);
+  EXPECT_EQ(rep.rows.size(), 0u);
+}
+
+TEST_F(BenchdiffTest, AddedAndRemovedMetricsAreReportedNotJudged) {
+  write_metrics(base_, "demo", demo_registry());
+  obs::Registry reg;
+  reg.counter("fig.demo_1MB_mibs").add(1000);
+  reg.counter("driver.pull_reqs").add(4456);
+  // stall_ns + histogram gone, a new counter appears.
+  reg.counter("driver.new_counter").add(7);
+  write_metrics(cur_, "demo", reg);
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()),
+                     bd::load_tree(cur_.string()), bd::Tolerances{});
+  EXPECT_EQ(rep.count(bd::Status::kRegression), 0u);
+  EXPECT_EQ(rep.count(bd::Status::kAdded), 1u);
+  EXPECT_GE(rep.count(bd::Status::kRemoved), 1u);
+}
+
+TEST_F(BenchdiffTest, MarkdownReportNamesTheRegression) {
+  write_metrics(base_, "demo", demo_registry());
+  auto cur = bd::load_tree(base_.string());
+  cur["demo"]["fig.demo_1MB_mibs"] = 800;
+  const bd::Report rep =
+      bd::diff_trees(bd::load_tree(base_.string()), cur, bd::Tolerances{});
+  const fs::path p = cur_ / "report.md";
+  std::FILE* f = std::fopen(p.string().c_str(), "w");
+  bd::write_markdown(f, rep, "baselines", "run");
+  std::fclose(f);
+  f = std::fopen(p.string().c_str(), "r");
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_NE(content.find("**1 regressions**"), std::string::npos);
+  EXPECT_NE(content.find("fig.demo_1MB_mibs"), std::string::npos);
+  EXPECT_NE(content.find("-20.0%"), std::string::npos);
+}
+
+/// The committed baselines diff cleanly against themselves through the
+/// full load path — the exact CI invariant (zero spurious findings).
+TEST_F(BenchdiffTest, CommittedBaselinesSelfDiffIsEmpty) {
+  fs::path dir;
+  for (const char* c :
+       {"bench/baselines", "../bench/baselines", "../../bench/baselines"})
+    if (fs::exists(fs::path(c) / "guard.json")) dir = c;
+  if (dir.empty()) GTEST_SKIP() << "bench/baselines not reachable from cwd";
+  bd::Tolerances tol;
+  bd::load_guard_tolerances((dir / "guard.json").string(), tol);
+  const auto tree = bd::load_tree(dir.string());
+  ASSERT_GT(tree.size(), 0u);
+  const bd::Report rep = bd::diff_trees(tree, tree, tol);
+  EXPECT_EQ(rep.rows.size(), 0u);
+}
+
+}  // namespace
